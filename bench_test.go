@@ -1,0 +1,313 @@
+// Package rpgo_test is the benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (Table 1, Figs 4-8, headline claims),
+// plus micro-benchmarks of the simulation substrate and ablations of the
+// design choices called out in DESIGN.md.
+//
+// Benchmarks report the paper's metrics through b.ReportMetric: tasks/s
+// (throughput), util% (resource utilization), and makespan_s. Absolute
+// wall-clock of the benchmark itself measures only the simulator. Scales
+// default to ≤256 nodes so `go test -bench=.` completes in minutes; the
+// cmd/rpbench tool runs the full sweeps.
+package rpgo_test
+
+import (
+	"testing"
+
+	"rpgo/internal/core"
+	"rpgo/internal/experiments"
+	"rpgo/internal/launch"
+	"rpgo/internal/metrics"
+	"rpgo/internal/model"
+	"rpgo/internal/platform"
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+	"rpgo/internal/workload"
+)
+
+// --- Table 1: the experiment matrix itself (configuration build cost) ---
+
+func BenchmarkTable1Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := []experiments.ThroughputConfig{
+			experiments.SrunCell(4, experiments.Null, 1, 1),
+			experiments.Flux1Cell(16, experiments.Null, 1, 1),
+			experiments.FluxNCell(16, 4, experiments.Null, 1, 1),
+			experiments.DragonCell(16, experiments.Null, 1, 1),
+			experiments.HybridCell(16, 4, 0, 1, 1),
+		}
+		for _, c := range cells {
+			r := experiments.RunThroughput(c)
+			b.ReportMetric(r.AvgTput, c.Name+"_tasks/s")
+		}
+	}
+}
+
+// --- Fig 4: srun utilization ceiling ---
+
+func BenchmarkFig4SrunUtilization(b *testing.B) {
+	var util, makespan float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunThroughput(experiments.SrunCell(4, experiments.Dummy, uint64(i), 1))
+		util = r.MeanUtil * 100
+		makespan = r.MeanMakespan.Seconds()
+	}
+	b.ReportMetric(util, "util%")
+	b.ReportMetric(makespan, "makespan_s")
+}
+
+// --- Fig 5: throughput per runtime system ---
+
+func BenchmarkFig5aSrun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 2, 4, 8} {
+			r := experiments.RunThroughput(experiments.SrunCell(n, experiments.Null, 1, 1))
+			if n == 1 || n == 4 {
+				b.ReportMetric(r.AvgTput, nodesLabel(n))
+			}
+		}
+	}
+}
+
+func BenchmarkFig5bFlux1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 4, 16, 64} {
+			r := experiments.RunThroughput(experiments.Flux1Cell(n, experiments.Null, 2, 1))
+			b.ReportMetric(r.AvgTput, nodesLabel(n))
+		}
+	}
+}
+
+func BenchmarkFig5bFlux1Large(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunThroughput(experiments.Flux1Cell(256, experiments.Null, 2, 1))
+		b.ReportMetric(r.AvgTput, "tasks/s")
+		b.ReportMetric(r.PeakWindow, "peak1s_tasks/s")
+	}
+}
+
+func BenchmarkFig5cDragon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{4, 16, 64} {
+			r := experiments.RunThroughput(experiments.DragonCell(n, experiments.Null, 3, 1))
+			b.ReportMetric(r.AvgTput, nodesLabel(n))
+		}
+	}
+}
+
+func BenchmarkFig5dFluxDragon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{4, 16, 64} {
+			k := n / 2
+			if k > 8 {
+				k = 8
+			}
+			r := experiments.RunThroughput(experiments.HybridCell(n, k, 0, 4, 1))
+			b.ReportMetric(r.AvgTput, nodesLabel(n))
+		}
+	}
+}
+
+// --- Fig 6: flux_n instance sweep ---
+
+func BenchmarkFig6FluxN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cell := range []struct{ n, k int }{{4, 1}, {4, 4}, {16, 16}, {64, 16}} {
+			r := experiments.RunThroughput(experiments.FluxNCell(cell.n, cell.k, experiments.Null, 5, 1))
+			b.ReportMetric(r.AvgTput, nodesLabel(cell.n)+"_x"+itoa(cell.k))
+		}
+	}
+}
+
+// --- Fig 7: instance bootstrap overheads ---
+
+func BenchmarkFig7Overheads(b *testing.B) {
+	var flux64, dragon64 float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.RunOverheads([]int{1, 64}, uint64(i), 2) {
+			if r.Nodes != 64 {
+				continue
+			}
+			if r.Backend == spec.BackendFlux {
+				flux64 = r.Mean
+			} else {
+				dragon64 = r.Mean
+			}
+		}
+	}
+	b.ReportMetric(flux64, "flux_bootstrap_s")
+	b.ReportMetric(dragon64, "dragon_bootstrap_s")
+}
+
+// --- Fig 8: IMPECCABLE campaign ---
+
+func BenchmarkFig8ImpeccableSrun256(b *testing.B) {
+	benchImpeccable(b, 256, spec.BackendSrun)
+}
+
+func BenchmarkFig8ImpeccableFlux256(b *testing.B) {
+	benchImpeccable(b, 256, spec.BackendFlux)
+}
+
+func BenchmarkFig8ImpeccableSrun1024(b *testing.B) {
+	benchImpeccable(b, 1024, spec.BackendSrun)
+}
+
+func BenchmarkFig8ImpeccableFlux1024(b *testing.B) {
+	benchImpeccable(b, 1024, spec.BackendFlux)
+}
+
+func benchImpeccable(b *testing.B, nodes int, backend spec.Backend) {
+	var res experiments.ImpeccableResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunImpeccable(experiments.ImpeccableConfig{
+			Nodes: nodes, Backend: backend, Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(res.Makespan.Seconds(), "makespan_s")
+	b.ReportMetric(res.CPUUtil*100, "cpu_util%")
+	b.ReportMetric(res.PeakConcurrency, "peak_concurrency")
+	b.ReportMetric(float64(res.Tasks), "tasks")
+}
+
+// --- Headline claims (abstract / Sec 6) ---
+
+func BenchmarkHeadlineClaims(b *testing.B) {
+	var hybridPeak, fluxNMax float64
+	for i := 0; i < b.N; i++ {
+		h := experiments.RunThroughput(experiments.HybridCell(64, 8, 0, 6, 2))
+		hybridPeak = h.PeakWindow
+		fn := experiments.RunThroughput(experiments.FluxNCell(64, 16, experiments.Null, 7, 2))
+		fluxNMax = fn.MaxTput
+	}
+	b.ReportMetric(hybridPeak, "hybrid_peak_tasks/s")
+	b.ReportMetric(fluxNMax, "fluxn_max_tasks/s")
+}
+
+// --- Ablations: the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationNoCeiling removes Frontier's 112-srun cap: utilization
+// on the Fig 4 workload must rise from ~50% toward ~100%.
+func BenchmarkAblationNoCeiling(b *testing.B) {
+	params := model.Default()
+	params.Srun.Ceiling = 1 << 20
+	var util float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.SrunCell(4, experiments.Dummy, 1, 1)
+		cfg.Params = &params
+		r := experiments.RunThroughput(cfg)
+		util = r.MeanUtil * 100
+	}
+	b.ReportMetric(util, "util%_without_ceiling")
+}
+
+// BenchmarkAblationExecutorSerialization widens RP's per-executor
+// serialization stage, isolating its contribution to the hybrid peak.
+func BenchmarkAblationExecutorSerialization(b *testing.B) {
+	params := model.Default()
+	params.RP.ExecutorSubmitOverhead /= 4
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.HybridCell(64, 8, 0, 6, 1)
+		cfg.Params = &params
+		r := experiments.RunThroughput(cfg)
+		peak = r.PeakWindow
+	}
+	b.ReportMetric(peak, "hybrid_peak_tasks/s_4x_executor")
+}
+
+// BenchmarkAblationEta removes the multi-instance coordination penalty.
+func BenchmarkAblationEta(b *testing.B) {
+	params := model.Default()
+	params.Flux.EtaC = 0
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.FluxNCell(16, 16, experiments.Null, 5, 1)
+		cfg.Params = &params
+		r := experiments.RunThroughput(cfg)
+		avg = r.AvgTput
+	}
+	b.ReportMetric(avg, "fluxn_16x16_tasks/s_no_eta")
+}
+
+// --- Micro-benchmarks of the simulation substrate ---
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(sim.Duration(i%1000)*sim.Microsecond, func() {})
+		if i%1024 == 1023 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkPlacerSingleCore(b *testing.B) {
+	cluster := platform.NewCluster(platform.Frontier(1), 64)
+	alloc := cluster.Allocate(64)
+	plc := launch.NewPlacer(alloc)
+	td := &spec.TaskDescription{CoresPerRank: 1, Ranks: 1}
+	var live []*platform.Placement
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := plc.Place(0, td)
+		if pl == nil {
+			for _, p := range live {
+				alloc.Release(0, p)
+			}
+			live = live[:0]
+			continue
+		}
+		live = append(live, pl)
+	}
+}
+
+func BenchmarkFullPilotThroughput(b *testing.B) {
+	// End-to-end simulator cost: one 16-node flux pilot with a full
+	// 4-wave dummy workload per iteration.
+	for i := 0; i < b.N; i++ {
+		sess := core.NewSession(core.Config{Seed: uint64(i)})
+		pilot, err := sess.SubmitPilot(spec.PilotDescription{
+			Nodes:      16,
+			Partitions: []spec.PartitionConfig{{Backend: spec.BackendFlux, Instances: 2}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tm := sess.TaskManager(pilot)
+		tm.Submit(workload.Dummy(workload.FullDensityCount(16, 56), 180*sim.Second))
+		if err := tm.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetricsThroughput(b *testing.B) {
+	starts := make([]sim.Time, 100000)
+	for i := range starts {
+		starts[i] = sim.Time(i) * sim.Time(sim.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.ComputeThroughput(starts)
+	}
+}
+
+// --- helpers ---
+
+func nodesLabel(n int) string { return "tasks/s_" + itoa(n) + "n" }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

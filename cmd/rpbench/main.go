@@ -1,0 +1,61 @@
+// Command rpbench regenerates every table and figure of the paper's
+// evaluation section from the simulated runtime stack.
+//
+// Usage:
+//
+//	rpbench [-full] [-reps N] [-seed S] [-only table1|fig4|fig5|fig6|fig7|fig8|claims]
+//
+// Without -only it runs the complete suite. -full includes the 1024-node
+// throughput sweeps (slower); Fig 8 and the claims always run the paper's
+// 256- and 1024-node campaign configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rpgo/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "include 1024-node throughput sweeps")
+	reps := flag.Int("reps", 3, "repetitions per throughput cell")
+	seed := flag.Uint64("seed", 20250916, "base RNG seed")
+	only := flag.String("only", "", "run a single artifact: table1, fig4, fig5, fig6, fig7, fig8, claims")
+	flag.Parse()
+
+	sc := experiments.SuiteConfig{Seed: *seed, Reps: *reps, Full: *full}
+
+	artifacts := []struct {
+		name string
+		run  func() string
+	}{
+		{"table1", experiments.ReportTable1},
+		{"fig4", func() string { return experiments.ReportFig4(sc.Seed) }},
+		{"fig5", func() string { return experiments.ReportFig5(sc) }},
+		{"fig6", func() string { return experiments.ReportFig6(sc) }},
+		{"fig7", func() string { return experiments.ReportFig7(sc) }},
+		{"fig8", func() string { return experiments.ReportFig8(sc) }},
+		{"claims", func() string { return experiments.ReportClaims(sc) }},
+	}
+
+	ran := 0
+	for _, a := range artifacts {
+		if *only != "" && !strings.EqualFold(*only, a.name) {
+			continue
+		}
+		t0 := time.Now()
+		out := a.run()
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", a.name, time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "rpbench: unknown artifact %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,82 @@
+// Command rpsim runs a single throughput experiment cell and prints its
+// metrics — the quickest way to explore the runtime models.
+//
+// Usage:
+//
+//	rpsim -exp flux_1 -nodes 64 [-instances 4] [-workload null|dummy|mixed]
+//	      [-duration 180] [-tasks N] [-reps 3] [-seed S]
+//
+// Experiments: srun, flux_1, flux_n, dragon, flux_dragon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpgo/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "flux_1", "experiment: srun, flux_1, flux_n, dragon, flux_dragon")
+	nodes := flag.Int("nodes", 4, "pilot size in nodes")
+	instances := flag.Int("instances", 1, "backend instances (flux_n, flux_dragon)")
+	wl := flag.String("workload", "null", "workload: null, dummy, mixed")
+	duration := flag.Float64("duration", 180, "dummy task duration [s]")
+	tasks := flag.Int("tasks", 0, "task count override (0: nodes*56*4)")
+	reps := flag.Int("reps", 3, "repetitions")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	var kind experiments.WorkloadKind
+	switch *wl {
+	case "null":
+		kind = experiments.Null
+	case "dummy":
+		kind = experiments.Dummy
+	case "mixed":
+		kind = experiments.MixedExecFunc
+	default:
+		fmt.Fprintf(os.Stderr, "rpsim: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	var cfg experiments.ThroughputConfig
+	switch *exp {
+	case "srun":
+		cfg = experiments.SrunCell(*nodes, kind, *seed, *reps)
+	case "flux_1":
+		cfg = experiments.Flux1Cell(*nodes, kind, *seed, *reps)
+	case "flux_n":
+		cfg = experiments.FluxNCell(*nodes, *instances, kind, *seed, *reps)
+	case "dragon":
+		cfg = experiments.DragonCell(*nodes, kind, *seed, *reps)
+	case "flux_dragon":
+		secs := 0.0
+		if kind != experiments.Null {
+			secs = *duration
+		}
+		cfg = experiments.HybridCell(*nodes, *instances, secs, *seed, *reps)
+		cfg.Workload = experiments.MixedExecFunc
+	default:
+		fmt.Fprintf(os.Stderr, "rpsim: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if kind == experiments.Dummy {
+		cfg.TaskSeconds = *duration
+	}
+	if *tasks > 0 {
+		cfg.Tasks = *tasks
+	}
+
+	res := experiments.RunThroughput(cfg)
+	fmt.Printf("experiment %s: %d nodes, %d tasks (%s), %d reps\n",
+		*exp, *nodes, cfg.Tasks, cfg.Workload, *reps)
+	fmt.Printf("  throughput: avg %.1f t/s, best-rep %.1f t/s, peak 1s-window %.0f t/s\n",
+		res.AvgTput, res.MaxTput, res.PeakWindow)
+	fmt.Printf("  utilization: %.1f%%   makespan: %.1fs\n", res.MeanUtil*100, res.MeanMakespan.Seconds())
+	for i, rep := range res.Reps {
+		fmt.Printf("  rep %d: avg %.1f t/s, peak %.0f, makespan %.1fs, failed %d\n",
+			i, rep.Throughput.Avg, rep.Throughput.Peak, rep.Makespan.Seconds(), rep.Failed)
+	}
+}

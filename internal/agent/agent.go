@@ -1,0 +1,562 @@
+// Package agent implements the RADICAL-Pilot Agent: the component that
+// owns a resource allocation and manages task execution on it (paper §3,
+// Fig 1).
+//
+// The Agent is a pipeline of components connected by queues —
+// StagerIn → Scheduler → Executor(s) → StagerOut — plus a ServiceManager
+// for long-running service tasks. Its distinguishing capability, and the
+// paper's contribution, is that it concurrently instantiates and
+// coordinates *multiple task runtime systems* (srun, Flux, Dragon, PRRTE) inside
+// one allocation, routing each task to the backend that matches its
+// execution model while keeping a single task lifecycle, profiling, and
+// failure-handling path.
+package agent
+
+import (
+	"fmt"
+	"math"
+
+	"rpgo/internal/dragon"
+	"rpgo/internal/flux"
+	"rpgo/internal/launch"
+	"rpgo/internal/model"
+	"rpgo/internal/platform"
+	"rpgo/internal/profiler"
+	"rpgo/internal/prrte"
+	"rpgo/internal/rng"
+	"rpgo/internal/sim"
+	"rpgo/internal/slurm"
+	"rpgo/internal/spec"
+	"rpgo/internal/states"
+)
+
+// Task is the agent-side task record.
+type Task struct {
+	TD    *spec.TaskDescription
+	State states.TaskState
+	Trace *profiler.TaskTrace
+	// Reason holds the failure reason for FAILED tasks.
+	Reason   string
+	attempts int
+	// done is invoked exactly once when the task reaches a final state.
+	done func(*Task)
+}
+
+// transition validates and applies a state change, timestamping the trace.
+func (a *Agent) transition(t *Task, to states.TaskState) {
+	states.Validate(t.State, to)
+	t.State = to
+	a.prof.Log(a.eng.Now(), t.TD.UID, "state", to.String())
+}
+
+// Agent manages task execution on one pilot allocation.
+type Agent struct {
+	eng    *sim.Engine
+	params model.Params
+	ctrl   *slurm.Controller
+	alloc  *platform.Allocation
+	util   *platform.UtilizationTracker
+	prof   *profiler.Profiler
+	src    *rng.Source
+
+	desc spec.PilotDescription
+
+	// Pipeline stations.
+	stagerIn  *sim.Server[*Task]
+	scheduler *sim.Server[*Task]
+	stagerOut *sim.Server[*Task]
+
+	groups []*executorGroup
+
+	ready        bool
+	readyFns     []func()
+	draining     bool
+	preBootstrap []*Task
+
+	services        []*Task
+	servicesPending int
+	serviceWaiters  []func()
+
+	// Counters.
+	nSubmitted int
+	nFinal     int
+}
+
+// executorGroup is one backend type with its concurrent instances. The
+// group's submitter serializes task→job-description conversion and the
+// submit RPC — the single-threaded section of an RP executor, and the
+// per-backend throughput ceiling of the agent (§4.1.5).
+type executorGroup struct {
+	backend   spec.Backend
+	launchers []launch.Launcher
+	alive     []bool
+	inflight  []int // tasks handed to each launcher and not yet final
+	submitter *sim.Server[*Task]
+	pending   []*Task // held until at least one launcher is ready
+	anyReady  bool
+}
+
+// New creates an agent over the allocation and begins bootstrap: the agent
+// itself starts in params.RP.AgentBootstrap seconds, then brings up every
+// backend instance concurrently (Fig 7: overheads are not additive).
+func New(desc spec.PilotDescription, eng *sim.Engine, ctrl *slurm.Controller,
+	alloc *platform.Allocation, util *platform.UtilizationTracker,
+	prof *profiler.Profiler, src *rng.Source, params model.Params) (*Agent, error) {
+
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		eng:    eng,
+		params: params,
+		ctrl:   ctrl,
+		alloc:  alloc,
+		util:   util,
+		prof:   prof,
+		src:    src,
+		desc:   desc,
+	}
+	// Stagers run multiple concurrent instances (stacked boxes in Fig 1).
+	stream := src.Stream("agent.stagers")
+	a.stagerIn = sim.NewServer(eng, 4, func(t *Task) sim.Duration {
+		return sim.Seconds(stream.Jitter(params.RP.StagePerFile*float64(t.TD.InputFiles), 0.2))
+	}, a.stagedIn)
+	a.stagerOut = sim.NewServer(eng, 4, func(t *Task) sim.Duration {
+		return sim.Seconds(stream.Jitter(params.RP.StagePerFile*float64(t.TD.OutputFiles), 0.2))
+	}, a.stagedOut)
+	schedStream := src.Stream("agent.scheduler")
+	a.scheduler = sim.NewServer(eng, 1, func(*Task) sim.Duration {
+		return sim.Seconds(schedStream.Exp(1 / params.RP.SchedRate))
+	}, a.scheduled)
+
+	a.eng.After(sim.Seconds(params.RP.AgentBootstrap), a.bootstrapBackends)
+	return a, nil
+}
+
+// bootstrapBackends partitions the allocation and launches every backend
+// instance concurrently.
+func (a *Agent) bootstrapBackends() {
+	parts := a.layoutPartitions()
+	submitStream := a.src.Stream("agent.executor.submit")
+	for gi, pc := range a.partitionConfigs() {
+		g := &executorGroup{backend: pc.Backend}
+		g.submitter = sim.NewServer(a.eng, 1, func(*Task) sim.Duration {
+			return sim.Seconds(submitStream.Jitter(a.params.RP.ExecutorSubmitOverhead, 0.3))
+		}, func(t *Task) { a.forward(g, t) })
+		for ii := 0; ii < pc.Instances; ii++ {
+			part := parts[gi][ii]
+			name := fmt.Sprintf("%s.%d", pc.Backend, ii)
+			var l launch.Launcher
+			switch pc.Backend {
+			case spec.BackendSrun:
+				l = slurm.NewSrunLauncher(name, a.eng, a.ctrl, part, a.util, a.src)
+			case spec.BackendFlux:
+				in := flux.NewInstance(flux.Config{
+					Name:   name,
+					Params: a.params.Flux,
+					Eta:    a.params.Flux.Eta(pc.Instances),
+				}, a.eng, a.ctrl, part, a.util, a.src)
+				idx := len(g.launchers)
+				in.OnException = func(reason string) { a.instanceDown(g, idx, reason) }
+				l = in
+			case spec.BackendPRRTE:
+				dvm := prrte.NewDVM(name, prrte.DefaultParams(), a.eng, a.ctrl, part, a.util, a.src)
+				idx := len(g.launchers)
+				dvm.OnException = func(reason string) { a.instanceDown(g, idx, reason) }
+				l = dvm
+			case spec.BackendDragon:
+				rt := dragon.NewRuntime(dragon.Config{
+					Name:   name,
+					Params: a.params.Dragon,
+					Eta:    a.params.Flux.Eta(pc.Instances),
+				}, a.eng, a.ctrl, part, a.util, a.src)
+				idx := len(g.launchers)
+				rt.OnException = func(reason string) { a.instanceDown(g, idx, reason) }
+				l = rt
+			default:
+				panic("agent: unknown backend " + pc.Backend.String())
+			}
+			g.launchers = append(g.launchers, l)
+			g.alive = append(g.alive, true)
+			g.inflight = append(g.inflight, 0)
+			l.Ready(func() { a.launcherReady(g) })
+		}
+		a.groups = append(a.groups, g)
+	}
+	// The agent is ready for task intake immediately; executors hold
+	// tasks until their backends come up.
+	a.ready = true
+	fns := a.readyFns
+	a.readyFns = nil
+	for _, fn := range fns {
+		a.eng.Immediately(fn)
+	}
+	parked := a.preBootstrap
+	a.preBootstrap = nil
+	for _, t := range parked {
+		a.eng.Immediately(func() { a.scheduled(t) })
+	}
+}
+
+// partitionConfigs returns the pilot's partition layout, defaulting to a
+// single srun executor over the whole allocation (RP's default executor).
+func (a *Agent) partitionConfigs() []spec.PartitionConfig {
+	if len(a.desc.Partitions) > 0 {
+		return a.desc.Partitions
+	}
+	return []spec.PartitionConfig{{Backend: spec.BackendSrun, Instances: 1}}
+}
+
+// layoutPartitions splits the allocation nodes across backend groups and
+// instances: fixed-size groups first, then the remainder split by share.
+func (a *Agent) layoutPartitions() [][]*platform.Allocation {
+	cfgs := a.partitionConfigs()
+	out := make([][]*platform.Allocation, len(cfgs))
+	fixed := 0
+	var flexShare float64
+	for _, pc := range cfgs {
+		if pc.NodesPerInstance > 0 {
+			fixed += pc.Instances * pc.NodesPerInstance
+		} else {
+			s := pc.NodeShare
+			if s <= 0 {
+				s = 1
+			}
+			flexShare += s
+		}
+	}
+	free := a.alloc.Size() - fixed
+	if free < 0 {
+		panic("agent: partition layout exceeds allocation")
+	}
+	offset := 0
+	// Fixed groups take their nodes from the front.
+	for gi, pc := range cfgs {
+		if pc.NodesPerInstance <= 0 {
+			continue
+		}
+		out[gi] = make([]*platform.Allocation, pc.Instances)
+		for ii := 0; ii < pc.Instances; ii++ {
+			out[gi][ii] = a.alloc.Slice(offset, pc.NodesPerInstance)
+			offset += pc.NodesPerInstance
+		}
+	}
+	// Flexible groups split the remainder proportionally to NodeShare.
+	taken := 0
+	flexIdx := 0
+	nFlex := 0
+	for _, pc := range cfgs {
+		if pc.NodesPerInstance <= 0 {
+			nFlex++
+		}
+	}
+	for gi, pc := range cfgs {
+		if pc.NodesPerInstance > 0 {
+			continue
+		}
+		s := pc.NodeShare
+		if s <= 0 {
+			s = 1
+		}
+		flexIdx++
+		var n int
+		if flexIdx == nFlex {
+			n = free - taken // last group absorbs rounding
+		} else {
+			n = int(math.Floor(float64(free) * s / flexShare))
+		}
+		if n < pc.Instances {
+			panic(fmt.Sprintf("agent: group %d gets %d nodes for %d instances", gi, n, pc.Instances))
+		}
+		taken += n
+		block := a.alloc.Slice(offset, n)
+		out[gi] = block.Partition(pc.Instances)
+		offset += n
+	}
+	return out
+}
+
+// Ready registers a callback fired once the agent accepts tasks.
+func (a *Agent) Ready(fn func()) {
+	if a.ready {
+		a.eng.Immediately(fn)
+		return
+	}
+	a.readyFns = append(a.readyFns, fn)
+}
+
+// Launchers returns the flat list of backend launchers (for tests and
+// overhead analysis).
+func (a *Agent) Launchers() []launch.Launcher {
+	var out []launch.Launcher
+	for _, g := range a.groups {
+		out = append(out, g.launchers...)
+	}
+	return out
+}
+
+// Submitted and Final report task accounting.
+func (a *Agent) Submitted() int { return a.nSubmitted }
+
+// Final reports how many tasks reached a terminal state.
+func (a *Agent) Final() int { return a.nFinal }
+
+// Submit accepts a task from the client-side task manager. done fires when
+// the task reaches a final state.
+func (a *Agent) Submit(t *Task, done func(*Task)) {
+	t.done = done
+	a.nSubmitted++
+	if a.draining {
+		a.finish(t, states.TaskFailed, "pilot is draining")
+		return
+	}
+	if err := t.TD.Validate(a.alloc.Cluster.Spec.Slots(), a.alloc.Cluster.Spec.GPUs); err != nil {
+		a.finish(t, states.TaskFailed, err.Error())
+		return
+	}
+	if t.TD.Service {
+		a.submitService(t)
+		return
+	}
+	a.transition(t, states.TaskAgentStagingIn)
+	if t.TD.InputFiles > 0 {
+		a.stagerIn.Submit(t)
+	} else {
+		a.stagedIn(t)
+	}
+}
+
+func (a *Agent) stagedIn(t *Task) {
+	a.transition(t, states.TaskAgentSchedule)
+	a.scheduler.Submit(t)
+}
+
+// scheduled runs when the agent scheduler processed the task: route it to
+// an executor group.
+func (a *Agent) scheduled(t *Task) {
+	t.Trace.Scheduled = a.eng.Now()
+	if len(a.groups) == 0 {
+		// Backends are still bootstrapping; park until they exist.
+		a.preBootstrap = append(a.preBootstrap, t)
+		return
+	}
+	g := a.route(t)
+	if g == nil {
+		a.finish(t, states.TaskFailed, fmt.Sprintf("no executor for %s task %s", t.TD.Kind, t.TD.UID))
+		return
+	}
+	a.transition(t, states.TaskAgentExecuting)
+	a.dispatch(g, t)
+}
+
+// route picks the executor group for a task: pinned backend first, then by
+// modality — functions to Dragon, executables to Flux, falling back to
+// whatever exists (§3.1: "tasks are mapped to the backend that best
+// matches their execution models").
+func (a *Agent) route(t *Task) *executorGroup {
+	want := t.TD.Backend
+	if want != spec.BackendAuto {
+		for _, g := range a.groups {
+			if g.backend == want {
+				return g
+			}
+		}
+		return nil
+	}
+	var prefer []spec.Backend
+	if t.TD.Kind == spec.Function {
+		prefer = []spec.Backend{spec.BackendDragon, spec.BackendFlux, spec.BackendPRRTE, spec.BackendSrun}
+	} else {
+		prefer = []spec.Backend{spec.BackendFlux, spec.BackendPRRTE, spec.BackendSrun, spec.BackendDragon}
+	}
+	for _, b := range prefer {
+		for _, g := range a.groups {
+			if g.backend == b {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// dispatch queues a task on the group's submitter (the executor's
+// single-threaded serialization stage), or parks it until an instance is
+// ready.
+func (a *Agent) dispatch(g *executorGroup, t *Task) {
+	if !g.anyReady {
+		g.pending = append(g.pending, t)
+		return
+	}
+	g.submitter.Submit(t)
+}
+
+// forward hands a serialized task to the least-loaded live instance (late
+// binding: the choice happens at submission time, not at scheduling time).
+func (a *Agent) forward(g *executorGroup, t *Task) {
+	idx := a.pickLauncher(g, t)
+	if idx < 0 {
+		a.finish(t, states.TaskFailed, fmt.Sprintf("no live %s instance fits task %s", g.backend, t.TD.UID))
+		return
+	}
+	l := g.launchers[idx]
+	g.inflight[idx]++
+	t.Trace.Launch = a.eng.Now()
+	t.Trace.Backend = l.Name()
+	l.Submit(&launch.Request{
+		UID: t.TD.UID,
+		TD:  t.TD,
+		OnStart: func(at sim.Time) {
+			a.transition(t, states.TaskRunning)
+			t.Trace.Start = at
+			t.Trace.Cores = t.TD.TotalCores()
+			t.Trace.GPUs = t.TD.TotalGPUs()
+			if t.TD.Service {
+				a.noteServiceStart()
+			}
+		},
+		OnComplete: func(at sim.Time, failed bool, reason string) {
+			if idx < len(g.inflight) {
+				g.inflight[idx]--
+			}
+			a.completed(g, t, at, failed, reason)
+		},
+	})
+}
+
+// pickLauncher returns the index of the least-loaded live instance whose
+// partition fits the task, or -1. Load balancing by in-flight count keeps
+// faster instances busier, which is what lets concurrent partitions
+// aggregate their dispatch rates.
+func (a *Agent) pickLauncher(g *executorGroup, t *Task) int {
+	best := -1
+	for i, l := range g.launchers {
+		if !g.alive[i] || t.TD.Nodes > l.Nodes() {
+			continue
+		}
+		if best < 0 || g.inflight[i] < g.inflight[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// completed handles a launcher completion: retry infrastructure failures,
+// otherwise stage out and finalize.
+func (a *Agent) completed(g *executorGroup, t *Task, at sim.Time, failed bool, reason string) {
+	if failed {
+		if t.attempts < t.TD.MaxRetries && !a.draining {
+			t.attempts++
+			t.Trace.Retries = t.attempts
+			// The task goes back through executor dispatch after a
+			// backoff; its state regresses to AGENT_EXECUTING paths.
+			if t.State == states.TaskRunning {
+				// Launcher reported a mid-run crash.
+				t.State = states.TaskAgentExecuting
+			}
+			a.prof.Log(at, t.TD.UID, "retry", reason)
+			a.eng.After(sim.Seconds(a.params.RP.RetryBackoff), func() {
+				a.dispatch(g, t)
+			})
+			return
+		}
+		a.finish(t, states.TaskFailed, reason)
+		return
+	}
+	t.Trace.End = at
+	a.transition(t, states.TaskAgentStagingOut)
+	if t.TD.OutputFiles > 0 {
+		a.stagerOut.Submit(t)
+	} else {
+		a.stagedOut(t)
+	}
+}
+
+func (a *Agent) stagedOut(t *Task) {
+	a.finish(t, states.TaskDone, "")
+}
+
+func (a *Agent) finish(t *Task, st states.TaskState, reason string) {
+	if t.State.Final() {
+		return
+	}
+	if st == states.TaskFailed {
+		t.Trace.Failed = true
+		t.Reason = reason
+	}
+	a.transition(t, st)
+	t.Trace.Final = a.eng.Now()
+	a.nFinal++
+	if t.done != nil {
+		done := t.done
+		t.done = nil
+		a.eng.Immediately(func() { done(t) })
+	}
+}
+
+// launcherReady flushes the group's parked tasks when its first instance
+// comes up.
+func (a *Agent) launcherReady(g *executorGroup) {
+	g.anyReady = true
+	pend := g.pending
+	g.pending = nil
+	for _, t := range pend {
+		a.dispatch(g, t)
+	}
+}
+
+// instanceDown marks an instance dead after a backend exception; its tasks
+// come back through OnComplete(failed) and get retried on live instances.
+func (a *Agent) instanceDown(g *executorGroup, idx int, reason string) {
+	if idx < len(g.alive) {
+		g.alive[idx] = false
+	}
+	a.prof.Log(a.eng.Now(), "agent", "instance_down", reason)
+}
+
+// submitService registers a long-running service task; the workload can
+// gate on WaitServices.
+func (a *Agent) submitService(t *Task) {
+	a.services = append(a.services, t)
+	a.servicesPending++
+	a.transition(t, states.TaskAgentStagingIn)
+	a.transition(t, states.TaskAgentSchedule)
+	a.scheduler.Submit(t)
+}
+
+// WaitServices fires fn once every submitted service task has started.
+func (a *Agent) WaitServices(fn func()) {
+	if a.servicesPending == 0 {
+		a.eng.Immediately(fn)
+		return
+	}
+	a.serviceWaiters = append(a.serviceWaiters, fn)
+}
+
+// serviceStarted is called through the normal RUNNING transition: the
+// scheduler routes services like tasks, but WaitServices observes starts.
+func (a *Agent) noteServiceStart() {
+	a.servicesPending--
+	if a.servicesPending == 0 {
+		ws := a.serviceWaiters
+		a.serviceWaiters = nil
+		for _, fn := range ws {
+			a.eng.Immediately(fn)
+		}
+	}
+}
+
+// Drain stops intake and drains all backend queues; queued tasks fail.
+func (a *Agent) Drain(reason string) {
+	a.draining = true
+	for _, g := range a.groups {
+		for _, t := range g.pending {
+			a.finish(t, states.TaskFailed, reason)
+		}
+		g.pending = nil
+		for i, l := range g.launchers {
+			if g.alive[i] {
+				l.Drain(reason)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package core implements the client side of RADICAL-Pilot: the Session,
+// pilot management, and the task manager that feeds the agent over
+// latency-modelled pipes (paper Fig 1: "RP API" down to the Agent).
+//
+// The package is the glue between user-facing descriptions (internal/spec)
+// and the executing agent (internal/agent); the public facade for
+// applications is package rp at the repository root.
+package core
+
+import (
+	"fmt"
+
+	"rpgo/internal/agent"
+	"rpgo/internal/model"
+	"rpgo/internal/platform"
+	"rpgo/internal/profiler"
+	"rpgo/internal/rng"
+	"rpgo/internal/sim"
+	"rpgo/internal/slurm"
+	"rpgo/internal/spec"
+	"rpgo/internal/states"
+)
+
+// Config configures a session.
+type Config struct {
+	// Seed drives every stochastic model; identical seeds replay
+	// identically.
+	Seed uint64
+	// Params overrides the calibrated model constants; nil uses
+	// model.Default().
+	Params *model.Params
+	// RecordEvents enables the full profiler event log (tests, small
+	// runs).
+	RecordEvents bool
+}
+
+// Session owns the simulation engine, the machine, the Slurm controller,
+// and all pilots. It corresponds to rp.Session in RADICAL-Pilot.
+type Session struct {
+	Engine     *sim.Engine
+	Controller *slurm.Controller
+	Profiler   *profiler.Profiler
+	Params     model.Params
+
+	src      *rng.Source
+	pilots   []*Pilot
+	taskSeq  int
+	pilotSeq int
+}
+
+// NewSession creates a session.
+func NewSession(cfg Config) *Session {
+	params := model.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	eng := sim.NewEngine()
+	src := rng.New(cfg.Seed)
+	prof := profiler.New()
+	prof.RecordEvents = cfg.RecordEvents
+	return &Session{
+		Engine:     eng,
+		Controller: slurm.NewController(eng, params.Srun, src),
+		Profiler:   prof,
+		Params:     params,
+		src:        src,
+	}
+}
+
+// Pilot is a resource placeholder: an allocation plus the agent running on
+// it.
+type Pilot struct {
+	UID   string
+	Desc  spec.PilotDescription
+	State states.PilotState
+
+	Cluster *platform.Cluster
+	Alloc   *platform.Allocation
+	Util    *platform.UtilizationTracker
+	Agent   *agent.Agent
+
+	sess *Session
+	// SubmittedAt / ActiveAt time the pilot bootstrap overhead.
+	SubmittedAt sim.Time
+	ActiveAt    sim.Time
+}
+
+// SubmitPilot requests an allocation and bootstraps an agent on it. Each
+// pilot gets a dedicated cluster of exactly its size (batch queue waiting
+// is out of scope; the paper measures inside active allocations), while all
+// pilots share one Slurm controller and its srun ceiling.
+func (s *Session) SubmitPilot(pd spec.PilotDescription) (*Pilot, error) {
+	if pd.UID == "" {
+		pd.UID = fmt.Sprintf("pilot.%04d", s.pilotSeq)
+	}
+	s.pilotSeq++
+	if err := pd.Validate(); err != nil {
+		return nil, err
+	}
+	smt := pd.SMT
+	if smt == 0 {
+		smt = 1
+	}
+	cluster := platform.NewCluster(platform.Frontier(smt), pd.Nodes)
+	alloc := cluster.Allocate(pd.Nodes)
+	util := platform.NewUtilizationTracker(alloc.TotalCPU(), alloc.TotalGPU())
+	alloc.AttachUtilization(util)
+
+	p := &Pilot{
+		UID:         pd.UID,
+		Desc:        pd,
+		State:       states.PilotNew,
+		Cluster:     cluster,
+		Alloc:       alloc,
+		Util:        util,
+		sess:        s,
+		SubmittedAt: s.Engine.Now(),
+	}
+	states.ValidatePilot(p.State, states.PilotLaunching)
+	p.State = states.PilotLaunching
+	s.Profiler.Log(s.Engine.Now(), p.UID, "state", p.State.String())
+
+	ag, err := agent.New(pd, s.Engine, s.Controller, alloc, util, s.Profiler, s.src, s.Params)
+	if err != nil {
+		return nil, err
+	}
+	p.Agent = ag
+	ag.Ready(func() {
+		states.ValidatePilot(p.State, states.PilotActive)
+		p.State = states.PilotActive
+		p.ActiveAt = s.Engine.Now()
+		s.Profiler.Log(p.ActiveAt, p.UID, "state", p.State.String())
+	})
+	if pd.Runtime > 0 {
+		s.Engine.After(pd.Runtime, func() {
+			p.Cancel("pilot walltime exceeded")
+		})
+	}
+	s.pilots = append(s.pilots, p)
+	return p, nil
+}
+
+// Cancel drains the pilot: queued tasks fail, running tasks finish.
+func (p *Pilot) Cancel(reason string) {
+	if p.State.Final() {
+		return
+	}
+	p.Agent.Drain(reason)
+	states.ValidatePilot(p.State, states.PilotCanceled)
+	p.State = states.PilotCanceled
+	p.sess.Profiler.Log(p.sess.Engine.Now(), p.UID, "state", p.State.String())
+}
+
+// BootstrapOverhead reports submit→active; valid once the pilot is active.
+func (p *Pilot) BootstrapOverhead() sim.Duration {
+	return p.ActiveAt.Sub(p.SubmittedAt)
+}
+
+// TaskManager submits tasks to one pilot and tracks their completion.
+type TaskManager struct {
+	sess  *Session
+	pilot *Pilot
+	tasks []*agent.Task
+	final int
+	// waiters fire when all currently submitted tasks are final.
+	waiters []func()
+	// OnComplete, when set, observes every terminal task (campaign
+	// engines subscribe here).
+	OnComplete func(*agent.Task)
+}
+
+// TaskManager creates a task manager bound to the pilot.
+func (s *Session) TaskManager(p *Pilot) *TaskManager {
+	return &TaskManager{sess: s, pilot: p}
+}
+
+// Tasks returns all tasks ever submitted through this manager.
+func (tm *TaskManager) Tasks() []*agent.Task { return tm.tasks }
+
+// FinalCount returns how many of them reached a terminal state.
+func (tm *TaskManager) FinalCount() int { return tm.final }
+
+// Submit sends task descriptions to the pilot's agent. It returns the
+// agent-side task records (their Trace fields fill in as the simulation
+// advances).
+func (tm *TaskManager) Submit(tds []*spec.TaskDescription) []*agent.Task {
+	out := make([]*agent.Task, 0, len(tds))
+	for _, td := range tds {
+		if td.UID == "" {
+			td.UID = fmt.Sprintf("task.%06d", tm.sess.taskSeq)
+		}
+		tm.sess.taskSeq++
+		tr := tm.sess.Profiler.Task(td.UID)
+		tr.Submit = tm.sess.Engine.Now()
+		t := &agent.Task{TD: td, State: states.TaskNew, Trace: tr}
+		// Client-side acceptance, then the ZeroMQ hop to the agent.
+		states.Validate(t.State, states.TaskTMGRSchedule)
+		t.State = states.TaskTMGRSchedule
+		tm.tasks = append(tm.tasks, t)
+		out = append(out, t)
+		tm.sess.Engine.After(sim.Seconds(tm.sess.Params.RP.PipeLatency), func() {
+			tm.pilot.Agent.Submit(t, tm.taskDone)
+		})
+	}
+	return out
+}
+
+func (tm *TaskManager) taskDone(t *agent.Task) {
+	tm.final++
+	if tm.OnComplete != nil {
+		tm.OnComplete(t)
+	}
+	if tm.final == len(tm.tasks) {
+		ws := tm.waiters
+		tm.waiters = nil
+		for _, fn := range ws {
+			fn()
+		}
+	}
+}
+
+// Wait drives the simulation until every submitted task (including ones
+// submitted by completion callbacks while waiting) is final. It returns an
+// error if the event queue drains with tasks still pending — that would be
+// a deadlock in the modelled system.
+func (tm *TaskManager) Wait() error {
+	tm.sess.Engine.Run()
+	if tm.final != len(tm.tasks) {
+		return fmt.Errorf("core: %d of %d tasks never finished", len(tm.tasks)-tm.final, len(tm.tasks))
+	}
+	return nil
+}
+
+// Run drives the whole session until the event queue drains.
+func (s *Session) Run() { s.Engine.Run() }
+
+// RunUntil drives the session to the given virtual time.
+func (s *Session) RunUntil(t sim.Time) { s.Engine.RunUntil(t) }
+
+// Pilots returns all pilots submitted in the session.
+func (s *Session) Pilots() []*Pilot { return s.pilots }
+
+// Rand derives a deterministic named random stream from the session seed
+// (used by workload generators and the campaign's adaptive sizing).
+func (s *Session) Rand(name string) *rng.Stream { return s.src.Stream(name) }

@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"rpgo/internal/core"
+	"rpgo/internal/metrics"
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+	"rpgo/internal/workload"
+)
+
+// TestPRRTEBackendPilot runs a full pilot with the PRRTE DVM backend: the
+// fourth runtime system of the integration study (§5 prior work).
+func TestPRRTEBackendPilot(t *testing.T) {
+	sess := core.NewSession(core.Config{Seed: 23})
+	pilot, err := sess.SubmitPilot(spec.PilotDescription{
+		Nodes:      4,
+		Partitions: []spec.PartitionConfig{{Backend: spec.BackendPRRTE, Instances: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := sess.TaskManager(pilot)
+	tm.Submit(workload.Dummy(200, 60*sim.Second))
+	if err := tm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range sess.Profiler.Tasks() {
+		if tr.Failed {
+			t.Fatalf("task %s failed", tr.UID)
+		}
+		if !strings.HasPrefix(tr.Backend, "prrte") {
+			t.Fatalf("task %s ran on %q", tr.UID, tr.Backend)
+		}
+	}
+	tp := metrics.ThroughputOf(sess.Profiler.Tasks())
+	// PRRTE's flat ~14 t/s launch rate.
+	if tp.Avg < 5 || tp.Avg > 35 {
+		t.Errorf("prrte throughput = %.1f t/s, want ~14", tp.Avg)
+	}
+	ls := pilot.Agent.Launchers()
+	if len(ls) != 1 || ls[0].Backend() != spec.BackendPRRTE {
+		t.Fatalf("launchers: %v", ls)
+	}
+	if boot := ls[0].BootstrapOverhead().Seconds(); boot < 7 || boot > 16 {
+		t.Errorf("DVM bootstrap = %.1fs", boot)
+	}
+}
+
+// TestTripleBackendPilot drives srun-class, Flux, Dragon and PRRTE
+// partitions in one pilot and checks per-backend routing by pinning.
+func TestTripleBackendPilot(t *testing.T) {
+	sess := core.NewSession(core.Config{Seed: 29})
+	pilot, err := sess.SubmitPilot(spec.PilotDescription{
+		Nodes: 8,
+		Partitions: []spec.PartitionConfig{
+			{Backend: spec.BackendFlux, Instances: 1, NodesPerInstance: 3},
+			{Backend: spec.BackendDragon, Instances: 1, NodesPerInstance: 3},
+			{Backend: spec.BackendPRRTE, Instances: 1, NodesPerInstance: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := sess.TaskManager(pilot)
+	var tds []*spec.TaskDescription
+	for i := 0; i < 30; i++ {
+		tds = append(tds,
+			&spec.TaskDescription{Kind: spec.Executable, CoresPerRank: 1, Ranks: 1, Duration: 30 * sim.Second},
+			&spec.TaskDescription{Kind: spec.Function, CoresPerRank: 1, Ranks: 1, Duration: 30 * sim.Second},
+			&spec.TaskDescription{Kind: spec.Executable, Backend: spec.BackendPRRTE, CoresPerRank: 1, Ranks: 1, Duration: 30 * sim.Second},
+		)
+	}
+	tm.Submit(tds)
+	if err := tm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, tr := range sess.Profiler.Tasks() {
+		if tr.Failed {
+			t.Fatalf("task %s failed: backend %s", tr.UID, tr.Backend)
+		}
+		prefix := tr.Backend[:strings.IndexByte(tr.Backend, '.')]
+		counts[prefix]++
+	}
+	if counts["flux"] != 30 || counts["dragon"] != 30 || counts["prrte"] != 30 {
+		t.Fatalf("routing counts: %v", counts)
+	}
+}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"testing"
+
+	"rpgo/internal/core"
+	"rpgo/internal/metrics"
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+	"rpgo/internal/workload"
+)
+
+// TestSmokeSrunPilot runs a small srun-backed pilot end to end.
+func TestSmokeSrunPilot(t *testing.T) {
+	sess := core.NewSession(core.Config{Seed: 42})
+	pilot, err := sess.SubmitPilot(spec.PilotDescription{Nodes: 4})
+	if err != nil {
+		t.Fatalf("SubmitPilot: %v", err)
+	}
+	tm := sess.TaskManager(pilot)
+	tm.Submit(workload.Dummy(896, 180*sim.Second))
+	if err := tm.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	tasks := sess.Profiler.Tasks()
+	if len(tasks) != 896 {
+		t.Fatalf("traced %d tasks, want 896", len(tasks))
+	}
+	for _, tr := range tasks {
+		if tr.Failed {
+			t.Fatalf("task %s failed", tr.UID)
+		}
+		if !tr.Ran() {
+			t.Fatalf("task %s never ran", tr.UID)
+		}
+	}
+	// Frontier's srun ceiling must cap concurrency at 112 → 50 % of the
+	// 224 cores.
+	if hw := sess.Controller.Ceiling().HighWater; hw > 112 {
+		t.Fatalf("ceiling high water %d > 112", hw)
+	}
+	conc := metrics.ConcurrencySeries(tasks, 0)
+	if mx := conc.Max(); mx > 112 {
+		t.Fatalf("max concurrency %v > 112", mx)
+	}
+	util := metrics.Utilization(tasks, 4*56, pilot.ActiveAt, pilot.ActiveAt.Add(metrics.Makespan(tasks)))
+	if util < 0.40 || util > 0.55 {
+		t.Errorf("srun utilization = %.3f, want ≈0.50", util)
+	}
+	t.Logf("srun: util=%.3f makespan=%v highwater=%d", util, metrics.Makespan(tasks), sess.Controller.Ceiling().HighWater)
+}
+
+// TestSmokeFluxPilot runs a Flux-backed pilot.
+func TestSmokeFluxPilot(t *testing.T) {
+	sess := core.NewSession(core.Config{Seed: 7})
+	pilot, err := sess.SubmitPilot(spec.PilotDescription{
+		Nodes:      4,
+		Partitions: []spec.PartitionConfig{{Backend: spec.BackendFlux, Instances: 2}},
+	})
+	if err != nil {
+		t.Fatalf("SubmitPilot: %v", err)
+	}
+	tm := sess.TaskManager(pilot)
+	tm.Submit(workload.Dummy(896, 180*sim.Second))
+	if err := tm.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	tp := metrics.ThroughputOf(sess.Profiler.Tasks())
+	if tp.Tasks != 896 {
+		t.Fatalf("started %d tasks, want 896", tp.Tasks)
+	}
+	t.Logf("flux 4n/2inst: avg=%.1f peak=%.1f t/s, bootstrap=%v", tp.Avg, tp.Peak, pilot.BootstrapOverhead())
+	if tp.Avg < 20 {
+		t.Errorf("flux throughput %.1f t/s suspiciously low", tp.Avg)
+	}
+}
+
+// TestSmokeHybrid runs flux+dragon with a mixed workload.
+func TestSmokeHybrid(t *testing.T) {
+	sess := core.NewSession(core.Config{Seed: 3})
+	pilot, err := sess.SubmitPilot(spec.PilotDescription{
+		Nodes: 8,
+		Partitions: []spec.PartitionConfig{
+			{Backend: spec.BackendFlux, Instances: 2},
+			{Backend: spec.BackendDragon, Instances: 2},
+		},
+	})
+	if err != nil {
+		t.Fatalf("SubmitPilot: %v", err)
+	}
+	tm := sess.TaskManager(pilot)
+	n := workload.FullDensityCount(4, 56)
+	tm.Submit(workload.Mixed(n, n, 360*sim.Second))
+	if err := tm.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	var nFlux, nDragon int
+	for _, tr := range sess.Profiler.Tasks() {
+		if tr.Failed {
+			t.Fatalf("task %s failed", tr.UID)
+		}
+		switch {
+		case len(tr.Backend) >= 4 && tr.Backend[:4] == "flux":
+			nFlux++
+		case len(tr.Backend) >= 6 && tr.Backend[:6] == "dragon":
+			nDragon++
+		}
+	}
+	if nFlux != n || nDragon != n {
+		t.Fatalf("routing: flux=%d dragon=%d, want %d each", nFlux, nDragon, n)
+	}
+}

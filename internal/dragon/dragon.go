@@ -1,0 +1,332 @@
+// Package dragon models the Dragon distributed runtime: a lightweight,
+// high-throughput dispatcher for Python functions and (less efficiently)
+// executable tasks.
+//
+// Mechanisms mirrored from the paper (§3.2.2, §4.1.4):
+//
+//   - a single runtime spans its whole partition; there is no internal
+//     partitioning or explicit co-scheduling — resource management is
+//     implicit (worker processes occupy cores);
+//   - dispatch is centralized: one dispatcher pushes work to node-local
+//     workers over shared-memory queues, so throughput is largely
+//     independent of node count at small scale and *degrades* as the
+//     span grows (R(n) = R0/(1+n/N0));
+//   - function tasks take the native in-memory fast path; executables pay
+//     a fork/exec penalty (lower R0);
+//   - completion events flow back asynchronously through a shmem queue to
+//     a watcher;
+//   - bootstrap is ≈9 s (Fig 7) and guarded by a startup timeout so a hung
+//     runtime cannot stall RP.
+package dragon
+
+import (
+	"fmt"
+	"math"
+
+	"rpgo/internal/launch"
+	"rpgo/internal/model"
+	"rpgo/internal/platform"
+	"rpgo/internal/rng"
+	"rpgo/internal/sim"
+	"rpgo/internal/slurm"
+	"rpgo/internal/spec"
+)
+
+// Runtime is one Dragon runtime over a resource partition.
+type Runtime struct {
+	name   string
+	eng    *sim.Engine
+	params model.DragonParams
+	ctrl   *slurm.Controller
+	plc    *launch.Placer
+	util   *platform.UtilizationTracker
+	rand   *rng.Stream
+
+	queue   []*launch.Request
+	running map[*launch.Request]*platform.Placement
+
+	ready       bool
+	failed      bool
+	readyFns    []func()
+	t0          sim.Time
+	bootstrap   sim.Duration
+	releaseSrun func()
+
+	// dispatcher serializes task launches (the centralized design the
+	// paper measures).
+	dispatcher *sim.Server[*dispatch]
+	rateMult   float64
+	eta        float64
+	crashed    bool
+	stats      launch.Stats
+
+	// OnException receives runtime-level failures.
+	OnException func(reason string)
+}
+
+type dispatch struct {
+	r  *launch.Request
+	pl *platform.Placement
+}
+
+// Config carries runtime construction options.
+type Config struct {
+	Name   string
+	Params model.DragonParams
+	// Eta is the multi-runtime coordination efficiency applied by the RP
+	// executor when it drives several Dragon partitions (1 for a single
+	// runtime).
+	Eta float64
+	// FailBootstrap makes initialization hang past the startup timeout
+	// (failure-injection tests).
+	FailBootstrap bool
+}
+
+// NewRuntime creates and starts a runtime over the partition.
+func NewRuntime(cfg Config, eng *sim.Engine, ctrl *slurm.Controller, part *platform.Allocation,
+	util *platform.UtilizationTracker, src *rng.Source) *Runtime {
+	if cfg.Eta <= 0 {
+		cfg.Eta = 1
+	}
+	d := &Runtime{
+		name:    cfg.Name,
+		eng:     eng,
+		params:  cfg.Params,
+		eta:     cfg.Eta,
+		ctrl:    ctrl,
+		plc:     launch.NewPlacer(part),
+		util:    util,
+		rand:    src.Stream("dragon." + cfg.Name),
+		running: make(map[*launch.Request]*platform.Placement),
+		t0:      eng.Now(),
+	}
+	d.rateMult = d.rand.LogNormal(1, cfg.Params.RunSigma)
+	d.dispatcher = sim.NewServer(eng, 1, d.serviceTime, d.dispatched)
+	d.boot(cfg.FailBootstrap)
+	return d
+}
+
+func (d *Runtime) boot(failBootstrap bool) {
+	// Startup timeout: if the runtime is not up in time, RP must not
+	// stall (§3.2.2).
+	timeout := d.eng.After(sim.Seconds(d.params.StartupTimeout), func() {
+		if d.ready || d.crashed {
+			return
+		}
+		d.failed = true
+		d.Crash("dragon bootstrap timed out")
+	})
+	boot := d.params.BootstrapMedian +
+		d.params.BootstrapPerLogNode*math.Log2(float64(d.Nodes())+1)
+	dur := sim.Seconds(d.rand.LogNormal(boot, d.params.BootstrapSigma))
+	if failBootstrap {
+		// Never comes up; the timeout fires instead.
+		return
+	}
+	// One srun brings up the whole runtime; worker bring-up cost is part
+	// of the bootstrap latency.
+	d.ctrl.StartStep(d.Nodes(), 1, func(release func()) {
+		d.releaseSrun = release
+		left := sim.Duration(0)
+		if spent := d.eng.Now().Sub(d.t0); spent < dur {
+			left = dur - spent
+		}
+		d.eng.After(left, func() {
+			if d.crashed {
+				return
+			}
+			timeout.Stop()
+			d.ready = true
+			d.bootstrap = d.eng.Now().Sub(d.t0)
+			fns := d.readyFns
+			d.readyFns = nil
+			for _, fn := range fns {
+				d.eng.Immediately(fn)
+			}
+			d.pump()
+		})
+	})
+}
+
+// Name implements launch.Launcher.
+func (d *Runtime) Name() string { return d.name }
+
+// Backend implements launch.Launcher.
+func (d *Runtime) Backend() spec.Backend { return spec.BackendDragon }
+
+// Nodes implements launch.Launcher.
+func (d *Runtime) Nodes() int { return d.plc.Partition().Size() }
+
+// Ready implements launch.Launcher.
+func (d *Runtime) Ready(fn func()) {
+	if d.ready {
+		d.eng.Immediately(fn)
+		return
+	}
+	d.readyFns = append(d.readyFns, fn)
+}
+
+// BootstrapOverhead implements launch.Launcher.
+func (d *Runtime) BootstrapOverhead() sim.Duration { return d.bootstrap }
+
+// Stats implements launch.Launcher.
+func (d *Runtime) Stats() launch.Stats {
+	st := d.stats
+	st.QueueLen = len(d.queue)
+	return st
+}
+
+// Failed reports whether bootstrap failed.
+func (d *Runtime) Failed() bool { return d.failed }
+
+// Crashed reports whether the runtime has crashed.
+func (d *Runtime) Crashed() bool { return d.crashed }
+
+// Rate returns the effective dispatch rate for a task kind.
+func (d *Runtime) Rate(kind spec.TaskKind) float64 {
+	var r float64
+	if kind == spec.Function {
+		r = d.params.FuncRate(d.Nodes())
+	} else {
+		r = d.params.ExecRate(d.Nodes())
+	}
+	return r * d.rateMult * d.eta
+}
+
+// Submit implements launch.Launcher: the task is serialized and pushed to
+// the runtime over a shmem pipe.
+func (d *Runtime) Submit(r *launch.Request) {
+	d.eng.After(sim.Seconds(d.params.ShmemLatency), func() {
+		d.stats.Submitted++
+		if d.crashed {
+			d.fail(r, "dragon runtime down")
+			return
+		}
+		if !d.plc.Fits(r.TD) {
+			d.fail(r, fmt.Sprintf("task %s cannot fit partition of %d nodes", r.UID, d.Nodes()))
+			return
+		}
+		d.queue = append(d.queue, r)
+		d.pump()
+	})
+}
+
+// Drain implements launch.Launcher.
+func (d *Runtime) Drain(reason string) {
+	q := d.queue
+	d.queue = nil
+	for _, r := range q {
+		d.fail(r, reason)
+	}
+}
+
+// Crash simulates a runtime failure (§3.2.2: "if initialization fails or
+// the runtime crashes, RP triggers failover and moves affected tasks to
+// error states").
+func (d *Runtime) Crash(reason string) {
+	if d.crashed {
+		return
+	}
+	d.crashed = true
+	if d.releaseSrun != nil {
+		d.releaseSrun()
+		d.releaseSrun = nil
+	}
+	d.Drain(reason)
+	now := d.eng.Now()
+	for r, pl := range d.running {
+		delete(d.running, r)
+		if d.util != nil {
+			d.util.Remove(now, pl.TotalCPU(), pl.TotalGPU())
+		}
+		d.plc.Partition().Release(now, pl)
+		d.fail(r, reason)
+	}
+	if d.OnException != nil {
+		d.OnException(reason)
+	}
+}
+
+// Shutdown releases the runtime's srun slot; queued tasks are drained.
+func (d *Runtime) Shutdown() {
+	d.Drain("dragon runtime shutdown")
+	if d.releaseSrun != nil {
+		d.releaseSrun()
+		d.releaseSrun = nil
+	}
+}
+
+func (d *Runtime) fail(r *launch.Request, reason string) {
+	d.stats.Failed++
+	at := d.eng.Now()
+	d.eng.Immediately(func() { r.OnComplete(at, true, reason) })
+}
+
+// pump places queued tasks (implicit resource management: first free
+// worker slots win) and feeds the centralized dispatcher.
+func (d *Runtime) pump() {
+	if !d.ready || d.crashed {
+		return
+	}
+	for len(d.queue) > 0 {
+		r := d.queue[0]
+		pl := d.plc.Place(d.eng.Now(), r.TD)
+		if pl == nil {
+			return
+		}
+		d.queue = d.queue[1:]
+		d.dispatcher.Submit(&dispatch{r: r, pl: pl})
+	}
+}
+
+func (d *Runtime) serviceTime(dp *dispatch) sim.Duration {
+	rate := d.Rate(dp.r.TD.Kind)
+	return sim.Seconds(d.rand.Exp(1 / rate))
+}
+
+// dispatched runs when the dispatcher finishes serializing a launch: the
+// worker spawns the process (exec) or invokes the function in-memory.
+func (d *Runtime) dispatched(dp *dispatch) {
+	if d.crashed {
+		d.plc.Partition().Release(d.eng.Now(), dp.pl)
+		d.fail(dp.r, "dragon runtime down")
+		return
+	}
+	var spawn float64
+	if dp.r.TD.Kind == spec.Executable {
+		spawn = d.rand.LogNormal(0.020, d.params.SpawnSigma) // fork/exec
+	} else {
+		spawn = d.rand.LogNormal(0.002, d.params.SpawnSigma) // in-memory call
+	}
+	d.eng.After(sim.Seconds(spawn), func() {
+		if d.crashed {
+			d.plc.Partition().Release(d.eng.Now(), dp.pl)
+			d.fail(dp.r, "dragon runtime down")
+			return
+		}
+		now := d.eng.Now()
+		d.stats.Started++
+		d.running[dp.r] = dp.pl
+		if d.util != nil {
+			d.util.Add(now, dp.pl.TotalCPU(), dp.pl.TotalGPU())
+		}
+		dp.r.OnStart(now)
+		d.eng.After(dp.r.TD.Duration, func() {
+			if _, ok := d.running[dp.r]; !ok {
+				return // killed by crash
+			}
+			delete(d.running, dp.r)
+			end := d.eng.Now()
+			if d.util != nil {
+				d.util.Remove(end, dp.pl.TotalCPU(), dp.pl.TotalGPU())
+			}
+			d.plc.Partition().Release(end, dp.pl)
+			// Completion event hops back over the shmem queue.
+			d.eng.After(sim.Seconds(d.params.ShmemLatency), func() {
+				d.stats.Completed++
+				dp.r.OnComplete(d.eng.Now(), false, "")
+			})
+			d.pump()
+		})
+	})
+}

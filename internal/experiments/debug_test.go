@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+
+	"rpgo/internal/core"
+	"rpgo/internal/spec"
+	"rpgo/internal/workload"
+)
+
+// TestDebugFluxMultiInstance inspects per-instance start-time structure for
+// the flux_n 4-node/4-instance cell to verify multi-instance scaling.
+func TestDebugFluxMultiInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug probe")
+	}
+	sess := core.NewSession(core.Config{Seed: 999})
+	pilot, err := sess.SubmitPilot(spec.PilotDescription{
+		Nodes: 4, SMT: 1, Partitions: FluxPartitions(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := sess.TaskManager(pilot)
+	tm.Submit(workload.Dummy(896, 180*1000000))
+	if err := tm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Group start times by backend instance.
+	byInst := map[string][]float64{}
+	for _, tr := range sess.Profiler.Tasks() {
+		if tr.Start >= 0 {
+			byInst[tr.Backend] = append(byInst[tr.Backend], tr.Start.Seconds())
+		}
+	}
+	for name, ts := range byInst {
+		sort.Float64s(ts)
+		n := len(ts)
+		t.Logf("%s: n=%d first=%.2f q25=%.2f med=%.2f q75=%.2f last=%.2f",
+			name, n, ts[0], ts[n/4], ts[n/2], ts[3*n/4], ts[n-1])
+	}
+	for _, l := range pilot.Agent.Launchers() {
+		st := l.Stats()
+		t.Logf("%s: submitted=%d started=%d completed=%d boot=%v",
+			l.Name(), st.Submitted, st.Started, st.Completed, l.BootstrapOverhead())
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportTable1(t *testing.T) {
+	out := ReportTable1()
+	for _, want := range []string{"srun", "flux_1", "flux_n", "dragon", "flux+dragon",
+		"impeccable_srun", "impeccable_flux", "exec & func"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestReportFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report smoke test")
+	}
+	out := ReportFig4(1)
+	if !strings.Contains(out, "utilization") || !strings.Contains(out, "*") {
+		t.Fatalf("Fig 4 report:\n%s", out)
+	}
+	// The ceiling number must appear.
+	if !strings.Contains(out, "112") {
+		t.Error("Fig 4 should mention the 112 ceiling")
+	}
+}
+
+func TestReportFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report smoke test")
+	}
+	out := ReportFig7(SuiteConfig{Seed: 1, Reps: 1})
+	if !strings.Contains(out, "flux") || !strings.Contains(out, "dragon") {
+		t.Fatalf("Fig 7 report:\n%s", out)
+	}
+}
+
+func TestSmallSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report smoke test (slow)")
+	}
+	sc := SuiteConfig{Seed: 3, Reps: 1}
+	// Tiny versions of the sweeps: just assert they produce output rows.
+	fig6 := ReportFig6(SuiteConfig{Seed: 3, Reps: 1})
+	if !strings.Contains(fig6, "inst avg/max") {
+		t.Fatalf("Fig 6 report:\n%s", fig6)
+	}
+	_ = sc
+}

@@ -1,0 +1,364 @@
+// Package flux models a Flux instance: a hierarchical, policy-driven
+// resource manager running inside a pilot allocation.
+//
+// Mechanisms mirrored from the paper (§3.2.1):
+//
+//   - instances are srun-launched and bootstrap in ≈20 s (Fig 7), holding
+//     one slot of the system srun ceiling for their lifetime;
+//   - task submission is an asynchronous RPC into the broker; the broker's
+//     scheduler loop places queued jobs against the instance's resource
+//     ledger each cycle, with FCFS order and bounded backfill;
+//   - placed jobs start through parallel job shells, so dispatch rate grows
+//     with partition size (R(n) = R0·n^α, fitted to §4.1.2);
+//   - job lifecycle events (start, finish, exception) flow back to the
+//     subscriber asynchronously;
+//   - instances can spawn nested child instances on a sub-partition
+//     (hierarchical scheduling).
+package flux
+
+import (
+	"fmt"
+	"math"
+
+	"rpgo/internal/launch"
+	"rpgo/internal/model"
+	"rpgo/internal/platform"
+	"rpgo/internal/rng"
+	"rpgo/internal/sim"
+	"rpgo/internal/slurm"
+	"rpgo/internal/spec"
+)
+
+// Instance is one Flux broker + scheduler over a resource partition.
+type Instance struct {
+	name   string
+	eng    *sim.Engine
+	params model.FluxParams
+	ctrl   *slurm.Controller // nil for nested instances
+	plc    *launch.Placer
+	util   *platform.UtilizationTracker
+	rand   *rng.Stream
+
+	queue   []*launch.Request
+	running map[*launch.Request]*platform.Placement
+
+	ready       bool
+	readyFns    []func()
+	t0          sim.Time
+	bootstrap   sim.Duration
+	releaseSrun func()
+
+	// rateMult is the per-run lognormal rate multiplier (repetition
+	// variability, §4.1.2); eta is the multi-instance coordination
+	// efficiency applied by the executor when several instances share an
+	// agent.
+	rateMult float64
+	eta      float64
+
+	cycling    bool
+	tokens     float64
+	lastRefill sim.Time
+	crashed    bool
+	stats      launch.Stats
+
+	// OnException, when set, receives instance-level failures (crash,
+	// bootstrap failure); the RP executor maps them into task failures
+	// and agent failover.
+	OnException func(reason string)
+}
+
+// Config carries instance construction options.
+type Config struct {
+	Name   string
+	Params model.FluxParams
+	// Eta is the coordination efficiency (1 for a single instance).
+	Eta float64
+	// Nested marks a child instance launched by a parent Flux rather
+	// than by srun: it skips the srun ceiling and bootstraps faster.
+	Nested bool
+}
+
+// NewInstance creates (but does not start) an instance over the partition.
+// ctrl may be nil only for nested instances.
+func NewInstance(cfg Config, eng *sim.Engine, ctrl *slurm.Controller, part *platform.Allocation,
+	util *platform.UtilizationTracker, src *rng.Source) *Instance {
+	if cfg.Eta <= 0 {
+		cfg.Eta = 1
+	}
+	in := &Instance{
+		name:    cfg.Name,
+		eng:     eng,
+		params:  cfg.Params,
+		ctrl:    ctrl,
+		plc:     launch.NewPlacer(part),
+		util:    util,
+		rand:    src.Stream("flux." + cfg.Name),
+		running: make(map[*launch.Request]*platform.Placement),
+		eta:     cfg.Eta,
+		t0:      eng.Now(),
+	}
+	in.rateMult = in.rand.LogNormal(1, cfg.Params.RunSigma)
+	in.start(cfg.Nested)
+	return in
+}
+
+func (in *Instance) start(nested bool) {
+	boot := in.params.BootstrapMedian +
+		in.params.BootstrapPerLogNode*math.Log2(float64(in.Nodes())+1)
+	d := sim.Seconds(in.rand.LogNormal(boot, in.params.BootstrapSigma))
+	if nested || in.ctrl == nil {
+		// Children are spawned by the parent broker: no srun, and the
+		// broker tree is already up, so bootstrap is cheaper.
+		in.eng.After(d/2, in.becomeReady)
+		return
+	}
+	t0 := in.eng.Now()
+	// One srun registers the whole instance (`srun -N n flux start`);
+	// the broker-tree startup cost is part of the bootstrap latency.
+	in.ctrl.StartStep(in.Nodes(), 1, func(release func()) {
+		in.releaseSrun = release
+		// Remaining bootstrap after srun granted the step.
+		left := sim.Duration(0)
+		if spent := in.eng.Now().Sub(t0); spent < d {
+			left = d - spent
+		}
+		in.eng.After(left, in.becomeReady)
+	})
+}
+
+func (in *Instance) becomeReady() {
+	if in.crashed {
+		return
+	}
+	in.ready = true
+	in.bootstrap = in.eng.Now().Sub(in.t0)
+	in.lastRefill = in.eng.Now()
+	// The bucket starts full: a freshly bootstrapped broker bursts.
+	in.tokens = in.Rate() * in.params.Cycle
+	fns := in.readyFns
+	in.readyFns = nil
+	for _, fn := range fns {
+		in.eng.Immediately(fn)
+	}
+	in.kick()
+}
+
+// Name implements launch.Launcher.
+func (in *Instance) Name() string { return in.name }
+
+// Backend implements launch.Launcher.
+func (in *Instance) Backend() spec.Backend { return spec.BackendFlux }
+
+// Nodes implements launch.Launcher.
+func (in *Instance) Nodes() int { return in.plc.Partition().Size() }
+
+// Ready implements launch.Launcher.
+func (in *Instance) Ready(fn func()) {
+	if in.ready {
+		in.eng.Immediately(fn)
+		return
+	}
+	in.readyFns = append(in.readyFns, fn)
+}
+
+// BootstrapOverhead implements launch.Launcher.
+func (in *Instance) BootstrapOverhead() sim.Duration { return in.bootstrap }
+
+// Stats implements launch.Launcher.
+func (in *Instance) Stats() launch.Stats {
+	st := in.stats
+	st.QueueLen = len(in.queue)
+	return st
+}
+
+// Rate returns the instance's effective dispatch rate (jobs/s).
+func (in *Instance) Rate() float64 {
+	return in.params.Rate(in.Nodes()) * in.eta * in.rateMult
+}
+
+// Submit implements launch.Launcher: an asynchronous RPC into the broker.
+func (in *Instance) Submit(r *launch.Request) {
+	in.eng.After(sim.Seconds(in.params.RPCLatency), func() {
+		in.stats.Submitted++
+		if in.crashed {
+			in.fail(r, "flux instance crashed")
+			return
+		}
+		if !in.plc.Fits(r.TD) {
+			in.fail(r, fmt.Sprintf("job %s cannot fit instance partition of %d nodes", r.UID, in.Nodes()))
+			return
+		}
+		in.queue = append(in.queue, r)
+		in.kick()
+	})
+}
+
+// Drain implements launch.Launcher.
+func (in *Instance) Drain(reason string) {
+	q := in.queue
+	in.queue = nil
+	for _, r := range q {
+		in.fail(r, reason)
+	}
+}
+
+// Crash simulates an instance failure: queued jobs fail, running jobs are
+// killed and their slots released, and OnException fires. Used by the
+// failure-injection tests (§3.2.1 error handling).
+func (in *Instance) Crash(reason string) {
+	if in.crashed {
+		return
+	}
+	in.crashed = true
+	if in.releaseSrun != nil {
+		in.releaseSrun()
+		in.releaseSrun = nil
+	}
+	in.Drain(reason)
+	now := in.eng.Now()
+	for r, pl := range in.running {
+		delete(in.running, r)
+		if in.util != nil {
+			in.util.Remove(now, pl.TotalCPU(), pl.TotalGPU())
+		}
+		in.plc.Partition().Release(now, pl)
+		in.fail(r, reason)
+	}
+	if in.OnException != nil {
+		in.OnException(reason)
+	}
+}
+
+// Crashed reports whether the instance has failed.
+func (in *Instance) Crashed() bool { return in.crashed }
+
+// Shutdown releases the instance's srun slot; queued jobs are drained.
+func (in *Instance) Shutdown() {
+	in.Drain("flux instance shutdown")
+	if in.releaseSrun != nil {
+		in.releaseSrun()
+		in.releaseSrun = nil
+	}
+}
+
+// SpawnNested creates a child instance on the first free sub-range of n
+// nodes of this instance's partition (hierarchical scheduling). The child
+// claims whole nodes from the parent's ledger for its lifetime.
+func (in *Instance) SpawnNested(name string, n int, src *rng.Source) (*Instance, error) {
+	part := in.plc.Partition()
+	if n > part.Size() {
+		return nil, fmt.Errorf("flux: nested instance of %d nodes exceeds parent partition %d", n, part.Size())
+	}
+	sub := part.Slice(0, n)
+	child := NewInstance(Config{
+		Name:   name,
+		Params: in.params,
+		Nested: true,
+	}, in.eng, nil, sub, in.util, src)
+	return child, nil
+}
+
+func (in *Instance) fail(r *launch.Request, reason string) {
+	in.stats.Failed++
+	at := in.eng.Now()
+	in.eng.Immediately(func() { r.OnComplete(at, true, reason) })
+}
+
+// kick schedules a scheduler pass. The broker is event-driven: submits,
+// completions, and bootstrap all trigger an immediate pass, while the token
+// bucket bounds the sustained dispatch rate at R(n).
+func (in *Instance) kick() {
+	if in.cycling || !in.ready || in.crashed || len(in.queue) == 0 {
+		return
+	}
+	in.cycling = true
+	in.eng.Immediately(in.cycle)
+}
+
+// refillTokens accrues dispatch tokens at the instance rate, capped at one
+// scheduler-cycle's worth of burst.
+func (in *Instance) refillTokens() {
+	now := in.eng.Now()
+	rate := in.Rate()
+	in.tokens += rate * now.Sub(in.lastRefill).Seconds()
+	cap := rate * in.params.Cycle
+	if cap < 1 {
+		cap = 1
+	}
+	if in.tokens > cap {
+		in.tokens = cap
+	}
+	in.lastRefill = now
+}
+
+// cycle is one pass of the broker's scheduler: place queued jobs while
+// dispatch tokens and resources last, then reschedule at the next token.
+func (in *Instance) cycle() {
+	in.cycling = false
+	if in.crashed || len(in.queue) == 0 {
+		return
+	}
+	in.refillTokens()
+	scanned := 0
+	i := 0
+	blocked := false
+	for i < len(in.queue) && in.tokens >= 1 && scanned <= in.params.BackfillDepth {
+		r := in.queue[i]
+		pl := in.plc.Place(in.eng.Now(), r.TD)
+		if pl == nil {
+			// Head-of-line blocked: backfill scans a bounded window
+			// past it (FCFS + backfill policy).
+			i++
+			scanned++
+			blocked = true
+			continue
+		}
+		in.queue = append(in.queue[:i], in.queue[i+1:]...)
+		in.tokens--
+		in.launch(r, pl)
+	}
+	if len(in.queue) == 0 || blocked && in.tokens >= 1 {
+		// Either drained, or resource-blocked: completions re-kick.
+		return
+	}
+	// Token-limited: resume when the next token accrues.
+	wait := sim.Seconds((1 - in.tokens) / in.Rate())
+	if wait < sim.Millisecond {
+		wait = sim.Millisecond
+	}
+	in.cycling = true
+	in.eng.After(wait, in.cycle)
+}
+
+func (in *Instance) launch(r *launch.Request, pl *platform.Placement) {
+	// The job shell spawn latency separates allocation from exec start.
+	shell := in.rand.LogNormal(in.params.ShellMedian, in.params.ShellSigma)
+	in.eng.After(sim.Seconds(shell), func() {
+		if in.crashed {
+			in.plc.Partition().Release(in.eng.Now(), pl)
+			in.fail(r, "flux instance crashed")
+			return
+		}
+		now := in.eng.Now()
+		in.stats.Started++
+		in.running[r] = pl
+		if in.util != nil {
+			in.util.Add(now, pl.TotalCPU(), pl.TotalGPU())
+		}
+		r.OnStart(now)
+		in.eng.After(r.TD.Duration, func() {
+			if _, ok := in.running[r]; !ok {
+				return // killed by crash
+			}
+			delete(in.running, r)
+			end := in.eng.Now()
+			if in.util != nil {
+				in.util.Remove(end, pl.TotalCPU(), pl.TotalGPU())
+			}
+			in.plc.Partition().Release(end, pl)
+			in.stats.Completed++
+			r.OnComplete(end, false, "")
+			in.kick()
+		})
+	})
+}

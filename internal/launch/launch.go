@@ -1,0 +1,179 @@
+// Package launch defines the contract between the RP agent and the task
+// runtime backends (srun, Flux, Dragon), plus the shared slot-placement
+// machinery every backend uses against its resource partition.
+package launch
+
+import (
+	"fmt"
+
+	"rpgo/internal/platform"
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+)
+
+// Request is one task launch handed to a backend.
+type Request struct {
+	// UID identifies the task.
+	UID string
+	// TD is the task description (resources, duration, kind).
+	TD *spec.TaskDescription
+	// OnStart fires when the task process begins executing.
+	OnStart func(at sim.Time)
+	// OnComplete fires when the task finishes; failed marks
+	// infrastructure failures (the task may be retried by the agent).
+	OnComplete func(at sim.Time, failed bool, reason string)
+}
+
+// Stats captures backend counters for analytics.
+type Stats struct {
+	Submitted uint64
+	Started   uint64
+	Completed uint64
+	Failed    uint64
+	QueueLen  int
+}
+
+// Launcher is a task runtime backend bound to a resource partition.
+// Submit may be called before the backend finished bootstrapping; requests
+// queue and run once it is ready.
+type Launcher interface {
+	// Name identifies the backend instance (e.g. "flux.2").
+	Name() string
+	// Backend reports the runtime system type.
+	Backend() spec.Backend
+	// Nodes reports the partition size in nodes.
+	Nodes() int
+	// Ready registers a callback invoked once bootstrap completes (or
+	// immediately if already done).
+	Ready(fn func())
+	// BootstrapOverhead reports the measured bootstrap duration; valid
+	// after Ready fired.
+	BootstrapOverhead() sim.Duration
+	// Submit enqueues a task launch.
+	Submit(r *Request)
+	// Drain cancels queued (not yet started) requests, failing them.
+	Drain(reason string)
+	// Stats returns current counters.
+	Stats() Stats
+}
+
+// Placer assigns concrete slots on a partition's nodes. It is shared by all
+// backends: Flux uses it inside its scheduler loop, Dragon for implicit
+// worker occupancy, and the agent's own scheduler for srun placement.
+//
+// Single-node requests use a ring cursor (O(1) amortized for uniform
+// workloads); multi-node requests take whole free nodes.
+type Placer struct {
+	part   *platform.Allocation
+	cursor int
+}
+
+// NewPlacer returns a placer over the partition.
+func NewPlacer(part *platform.Allocation) *Placer {
+	return &Placer{part: part}
+}
+
+// Partition returns the underlying allocation.
+func (p *Placer) Partition() *platform.Allocation { return p.part }
+
+// Place finds and claims slots for the task. It returns nil when the
+// partition currently lacks capacity (the caller re-tries when slots free).
+func (p *Placer) Place(at sim.Time, td *spec.TaskDescription) *platform.Placement {
+	if td.MultiNode() {
+		return p.placeMultiNode(at, td)
+	}
+	return p.placeSingleNode(at, td)
+}
+
+func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription) *platform.Placement {
+	cores := td.TotalCores()
+	gpus := td.TotalGPUs()
+	n := len(p.part.Nodes)
+	for i := 0; i < n; i++ {
+		node := p.part.Nodes[(p.cursor+i)%n]
+		if node.FreeCPU() >= cores && node.FreeGPU() >= gpus {
+			p.cursor = (p.cursor + i) % n
+			pl := &platform.Placement{
+				NodeIDs:  []int{node.ID},
+				CPUSlots: []int{cores},
+				GPUSlots: []int{gpus},
+			}
+			if err := p.part.Claim(at, pl); err != nil {
+				panic(fmt.Sprintf("launch: claim after fit check failed: %v", err))
+			}
+			// Advance past a filled node so the next search does
+			// not rescan it first.
+			if node.FreeCPU() == 0 {
+				p.cursor = (p.cursor + 1) % n
+			}
+			return pl
+		}
+	}
+	return nil
+}
+
+func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription) *platform.Placement {
+	want := td.Nodes
+	spec := p.part.Cluster.Spec
+	// Per-node footprint: ranks spread evenly across nodes.
+	ranks := td.Ranks
+	if ranks <= 0 {
+		ranks = want
+	}
+	ranksPerNode := (ranks + want - 1) / want
+	cpr := td.CoresPerRank
+	if cpr <= 0 {
+		cpr = 1
+	}
+	coresPerNode := ranksPerNode * cpr
+	gpusPerNode := ranksPerNode * td.GPUsPerRank
+	if coresPerNode > spec.Slots() || gpusPerNode > spec.GPUs {
+		panic(fmt.Sprintf("launch: task %s per-node footprint (%d cores, %d gpus) exceeds node", td.UID, coresPerNode, gpusPerNode))
+	}
+	var ids []int
+	for _, node := range p.part.Nodes {
+		if node.FreeCPU() >= coresPerNode && node.FreeGPU() >= gpusPerNode {
+			ids = append(ids, node.ID)
+			if len(ids) == want {
+				break
+			}
+		}
+	}
+	if len(ids) < want {
+		return nil
+	}
+	pl := &platform.Placement{NodeIDs: ids}
+	pl.CPUSlots = make([]int, want)
+	pl.GPUSlots = make([]int, want)
+	for i := range ids {
+		pl.CPUSlots[i] = coresPerNode
+		pl.GPUSlots[i] = gpusPerNode
+	}
+	if err := p.part.Claim(at, pl); err != nil {
+		panic(fmt.Sprintf("launch: multi-node claim after fit check failed: %v", err))
+	}
+	return pl
+}
+
+// Fits reports whether the task could ever fit on the partition when it is
+// completely idle. Backends fail such tasks immediately instead of queueing
+// them forever.
+func (p *Placer) Fits(td *spec.TaskDescription) bool {
+	sp := p.part.Cluster.Spec
+	if td.MultiNode() {
+		if td.Nodes > len(p.part.Nodes) {
+			return false
+		}
+		ranks := td.Ranks
+		if ranks <= 0 {
+			ranks = td.Nodes
+		}
+		ranksPerNode := (ranks + td.Nodes - 1) / td.Nodes
+		cpr := td.CoresPerRank
+		if cpr <= 0 {
+			cpr = 1
+		}
+		return ranksPerNode*cpr <= sp.Slots() && ranksPerNode*td.GPUsPerRank <= sp.GPUs
+	}
+	return td.TotalCores() <= sp.Slots() && td.TotalGPUs() <= sp.GPUs
+}

@@ -1,0 +1,154 @@
+package launch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rpgo/internal/platform"
+	"rpgo/internal/spec"
+)
+
+func newPartition(nodes int) *platform.Allocation {
+	c := platform.NewCluster(platform.Frontier(1), nodes)
+	return c.Allocate(nodes)
+}
+
+func TestPlaceSingleCore(t *testing.T) {
+	p := NewPlacer(newPartition(2))
+	td := &spec.TaskDescription{CoresPerRank: 1, Ranks: 1}
+	var placements []*platform.Placement
+	for i := 0; i < 112; i++ {
+		pl := p.Place(0, td)
+		if pl == nil {
+			t.Fatalf("placement %d failed with free slots", i)
+		}
+		placements = append(placements, pl)
+	}
+	if p.Place(0, td) != nil {
+		t.Fatal("placement beyond capacity should fail")
+	}
+	for _, pl := range placements {
+		p.Partition().Release(0, pl)
+	}
+	if p.Place(0, td) == nil {
+		t.Fatal("placement after release should succeed")
+	}
+}
+
+func TestPlaceGPUTask(t *testing.T) {
+	p := NewPlacer(newPartition(1))
+	td := &spec.TaskDescription{CoresPerRank: 1, Ranks: 1, GPUsPerRank: 1}
+	for i := 0; i < 8; i++ {
+		if p.Place(0, td) == nil {
+			t.Fatalf("GPU placement %d failed", i)
+		}
+	}
+	if p.Place(0, td) != nil {
+		t.Fatal("9th GPU task must not fit on an 8-GPU node")
+	}
+	// CPU-only tasks still fit.
+	if p.Place(0, &spec.TaskDescription{CoresPerRank: 1, Ranks: 1}) == nil {
+		t.Fatal("CPU task should fit despite exhausted GPUs")
+	}
+}
+
+func TestPlaceMultiNode(t *testing.T) {
+	p := NewPlacer(newPartition(4))
+	td := &spec.TaskDescription{Nodes: 2, Ranks: 16, CoresPerRank: 7}
+	pl := p.Place(0, td)
+	if pl == nil {
+		t.Fatal("2-node placement failed on idle 4-node partition")
+	}
+	if len(pl.NodeIDs) != 2 || pl.TotalCPU() != 112 {
+		t.Fatalf("placement: %+v", pl)
+	}
+	// Per-node footprint: 8 ranks x 7 cores = 56 = full node.
+	if p.Place(0, td) == nil {
+		t.Fatal("second 2-node placement should fit (2 nodes left)")
+	}
+	if p.Place(0, td) != nil {
+		t.Fatal("third 2-node placement must fail")
+	}
+}
+
+func TestPlaceMultiNodeSkipsBusyNodes(t *testing.T) {
+	p := NewPlacer(newPartition(3))
+	// Occupy node 0 fully via single-node placements.
+	big := &spec.TaskDescription{Ranks: 8, CoresPerRank: 7}
+	if p.Place(0, big) == nil {
+		t.Fatal("setup placement failed")
+	}
+	td := &spec.TaskDescription{Nodes: 2, Ranks: 16, CoresPerRank: 7}
+	pl := p.Place(0, td)
+	if pl == nil {
+		t.Fatal("2-node placement should use nodes 1 and 2")
+	}
+	for _, id := range pl.NodeIDs {
+		if id == 0 {
+			t.Fatal("placement used the busy node")
+		}
+	}
+}
+
+func TestFits(t *testing.T) {
+	p := NewPlacer(newPartition(2))
+	if !p.Fits(&spec.TaskDescription{Ranks: 56, CoresPerRank: 1}) {
+		t.Error("full-node task should fit")
+	}
+	if p.Fits(&spec.TaskDescription{Ranks: 57, CoresPerRank: 1}) {
+		t.Error("57 cores cannot fit a 56-core node")
+	}
+	if p.Fits(&spec.TaskDescription{Nodes: 3}) {
+		t.Error("3-node task cannot fit a 2-node partition")
+	}
+	if !p.Fits(&spec.TaskDescription{Nodes: 2, Ranks: 2, CoresPerRank: 1}) {
+		t.Error("2-node task should fit")
+	}
+}
+
+// Property: random placement streams never oversubscribe any node and a
+// full release cycle restores all capacity.
+func TestPlacerNeverOversubscribes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		part := newPartition(3)
+		p := NewPlacer(part)
+		var live []*platform.Placement
+		for i := 0; i < 200; i++ {
+			if r.Intn(3) == 0 && len(live) > 0 {
+				k := r.Intn(len(live))
+				part.Release(0, live[k])
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			td := &spec.TaskDescription{
+				Ranks:        r.Intn(8) + 1,
+				CoresPerRank: r.Intn(7) + 1,
+				GPUsPerRank:  r.Intn(2),
+			}
+			if pl := p.Place(0, td); pl != nil {
+				live = append(live, pl)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			n := part.Cluster.Node(i)
+			if n.FreeCPU() < 0 || n.FreeGPU() < 0 {
+				return false
+			}
+		}
+		for _, pl := range live {
+			part.Release(0, pl)
+		}
+		for i := 0; i < 3; i++ {
+			n := part.Cluster.Node(i)
+			if n.FreeCPU() != 56 || n.FreeGPU() != 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package metrics derives the paper's three core metrics from task traces:
+// throughput (task starts per second), resource utilization, and runtime
+// overhead — plus the timeline series behind Fig 4 and Fig 8 (running-task
+// concurrency and execution start rate).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rpgo/internal/profiler"
+	"rpgo/internal/sim"
+)
+
+// Throughput summarizes task start rates for one run.
+type Throughput struct {
+	// Tasks is the number of started tasks.
+	Tasks int
+	// Avg is starts per *active* second: total starts divided by the
+	// amount of time (at 100 ms resolution) during which at least one
+	// task started. This matches the paper's "tasks launched per second,
+	// independent of their execution duration": idle gaps between
+	// workload waves do not dilute the launcher's rate.
+	Avg float64
+	// Peak is the maximum number of starts in any sliding 1 s window.
+	Peak float64
+	// Span is last start − first start.
+	Span sim.Duration
+}
+
+// ComputeThroughput derives throughput from sorted or unsorted start times.
+func ComputeThroughput(starts []sim.Time) Throughput {
+	if len(starts) == 0 {
+		return Throughput{}
+	}
+	ts := make([]sim.Time, len(starts))
+	copy(ts, starts)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+
+	var tp Throughput
+	tp.Tasks = len(ts)
+	tp.Span = ts[len(ts)-1].Sub(ts[0])
+
+	// Active time at 100 ms buckets.
+	const bucket = 100 * sim.Millisecond
+	active := 0
+	var lastBucket int64 = math.MinInt64
+	for _, t := range ts {
+		b := int64(t) / int64(bucket)
+		if b != lastBucket {
+			active++
+			lastBucket = b
+		}
+	}
+	tp.Avg = float64(len(ts)) / (float64(active) * bucket.Seconds())
+
+	// Peak over sliding 1 s windows (two-pointer).
+	lo := 0
+	peak := 0
+	for hi := range ts {
+		for ts[hi].Sub(ts[lo]) >= sim.Second {
+			lo++
+		}
+		if n := hi - lo + 1; n > peak {
+			peak = n
+		}
+	}
+	tp.Peak = float64(peak)
+	return tp
+}
+
+// ThroughputOf extracts start times from traces and computes throughput.
+func ThroughputOf(tasks []*profiler.TaskTrace) Throughput {
+	starts := make([]sim.Time, 0, len(tasks))
+	for _, t := range tasks {
+		if t.Start >= 0 {
+			starts = append(starts, t.Start)
+		}
+	}
+	return ComputeThroughput(starts)
+}
+
+// Point is one sample of a timeline series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series is a named timeline.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Max returns the maximum value of the series.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean returns the time-weighted mean is not needed; this is the plain mean
+// of sampled values.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// ConcurrencySeries builds the running-task count over time (the green
+// curves of Fig 8), sampled at each change, then downsampled to at most
+// maxPoints.
+func ConcurrencySeries(tasks []*profiler.TaskTrace, maxPoints int) Series {
+	type edge struct {
+		t sim.Time
+		d int
+	}
+	var edges []edge
+	for _, tr := range tasks {
+		if tr.Start >= 0 && tr.End >= 0 {
+			edges = append(edges, edge{tr.Start, +1}, edge{tr.End, -1})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].d < edges[j].d // ends before starts at the same instant
+	})
+	s := Series{Name: "running"}
+	cur := 0
+	for _, e := range edges {
+		cur += e.d
+		s.Points = append(s.Points, Point{T: e.t, V: float64(cur)})
+	}
+	return Downsample(s, maxPoints)
+}
+
+// RateSeries builds the execution start rate over time (the red curves of
+// Fig 8) using fixed windows of the given width.
+func RateSeries(tasks []*profiler.TaskTrace, window sim.Duration, maxPoints int) Series {
+	var starts []sim.Time
+	for _, tr := range tasks {
+		if tr.Start >= 0 {
+			starts = append(starts, tr.Start)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	s := Series{Name: "start_rate"}
+	if len(starts) == 0 || window <= 0 {
+		return s
+	}
+	w := int64(window)
+	cur := int64(starts[0]) / w
+	count := 0
+	flush := func(bucket int64, n int) {
+		s.Points = append(s.Points, Point{
+			T: sim.Time(bucket * w),
+			V: float64(n) / window.Seconds(),
+		})
+	}
+	for _, t := range starts {
+		b := int64(t) / w
+		if b != cur {
+			flush(cur, count)
+			cur = b
+			count = 0
+		}
+		count++
+	}
+	flush(cur, count)
+	return Downsample(s, maxPoints)
+}
+
+// Downsample reduces a series to at most n points, keeping the local
+// maximum of each stride so peaks survive.
+func Downsample(s Series, n int) Series {
+	if n <= 0 || len(s.Points) <= n {
+		return s
+	}
+	out := Series{Name: s.Name}
+	stride := (len(s.Points) + n - 1) / n
+	for i := 0; i < len(s.Points); i += stride {
+		end := i + stride
+		if end > len(s.Points) {
+			end = len(s.Points)
+		}
+		best := s.Points[i]
+		for _, p := range s.Points[i+1 : end] {
+			if p.V > best.V {
+				best = p
+			}
+		}
+		out.Points = append(out.Points, best)
+	}
+	return out
+}
+
+// Utilization is the share of allocated CPU slots used by executing tasks,
+// computed from traces against a capacity (independent of the platform
+// tracker, so the two can cross-check each other in tests).
+func Utilization(tasks []*profiler.TaskTrace, totalCPU int, start, end sim.Time) float64 {
+	return utilization(tasks, totalCPU, start, end, func(tr *profiler.TaskTrace) int {
+		if tr.Cores == 0 {
+			return 1
+		}
+		return tr.Cores
+	})
+}
+
+// UtilizationGPU is the GPU-slot counterpart of Utilization.
+func UtilizationGPU(tasks []*profiler.TaskTrace, totalGPU int, start, end sim.Time) float64 {
+	return utilization(tasks, totalGPU, start, end, func(tr *profiler.TaskTrace) int {
+		return tr.GPUs
+	})
+}
+
+func utilization(tasks []*profiler.TaskTrace, capacity int, start, end sim.Time, slots func(*profiler.TaskTrace) int) float64 {
+	if capacity <= 0 || end <= start {
+		return 0
+	}
+	busy := 0.0
+	for _, tr := range tasks {
+		if !tr.Ran() {
+			continue
+		}
+		s, e := tr.Start, tr.End
+		if s < start {
+			s = start
+		}
+		if e > end {
+			e = end
+		}
+		if e > s {
+			busy += float64(slots(tr)) * e.Sub(s).Seconds()
+		}
+	}
+	return busy / (float64(capacity) * end.Sub(start).Seconds())
+}
+
+// Makespan returns the earliest submit to the latest final time.
+func Makespan(tasks []*profiler.TaskTrace) sim.Duration {
+	var first, last sim.Time = -1, -1
+	for _, tr := range tasks {
+		if tr.Submit >= 0 && (first < 0 || tr.Submit < first) {
+			first = tr.Submit
+		}
+		end := tr.Final
+		if end < 0 {
+			end = tr.End
+		}
+		if end > last {
+			last = end
+		}
+	}
+	if first < 0 || last < first {
+		return 0
+	}
+	return last.Sub(first)
+}
+
+// ASCIIPlot renders a series as a fixed-width text chart, the repository's
+// stand-in for the paper's figures.
+func ASCIIPlot(s Series, width, height int, title string) string {
+	if len(s.Points) == 0 {
+		return title + "\n(no data)\n"
+	}
+	minT, maxT := s.Points[0].T, s.Points[len(s.Points)-1].T
+	maxV := s.Max()
+	if maxV == 0 {
+		maxV = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	span := float64(maxT - minT)
+	if span == 0 {
+		span = 1
+	}
+	for _, p := range s.Points {
+		x := int(float64(p.T-minT) / span * float64(width-1))
+		y := int(p.V / maxV * float64(height-1))
+		row := height - 1 - y
+		if row >= 0 && row < height && x >= 0 && x < width {
+			grid[row][x] = '*'
+		}
+	}
+	out := title + "\n"
+	for i, row := range grid {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7.1f ", maxV)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		}
+		out += label + "|" + string(row) + "\n"
+	}
+	out += "        +" + repeat('-', width) + "\n"
+	out += fmt.Sprintf("         %-12s%*s\n", fmtTime(minT), width-11, fmtTime(maxT))
+	return out
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+func fmtTime(t sim.Time) string {
+	return fmt.Sprintf("%.0fs", t.Seconds())
+}

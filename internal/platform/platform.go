@@ -1,0 +1,330 @@
+// Package platform models the HPC machine: node hardware profiles, a
+// cluster of nodes, per-node core/GPU slot ledgers, and a time-weighted
+// resource utilization tracker.
+//
+// The model corresponds to OLCF Frontier as used in the paper: 64-core AMD
+// EPYC nodes with 8 of those cores reserved for the OS (56 usable, "cpn" in
+// the paper's Table 1), up to 4 hardware threads per core, and 8 MI250X GCDs
+// exposed as 8 GPUs per node. Placement and accounting are exact; compute is
+// virtual (tasks carry their own durations).
+package platform
+
+import (
+	"fmt"
+
+	"rpgo/internal/sim"
+)
+
+// NodeSpec describes the hardware of one node type.
+type NodeSpec struct {
+	// Name identifies the profile (e.g. "frontier").
+	Name string
+	// UsableCores is the number of cores available to tasks (physical
+	// cores minus OS-reserved ones).
+	UsableCores int
+	// SMT is the active hardware threads per core (1, 2 or 4).
+	SMT int
+	// GPUs is the number of GPU devices per node.
+	GPUs int
+	// MemGB is usable memory per node.
+	MemGB int
+}
+
+// Slots returns the schedulable CPU slots per node (cores × SMT).
+func (s NodeSpec) Slots() int { return s.UsableCores * s.SMT }
+
+// Frontier returns the Frontier node profile with the given SMT level.
+// The paper's experiments use SMT=1 (4 nodes → 224 cores).
+func Frontier(smt int) NodeSpec {
+	if smt != 1 && smt != 2 && smt != 4 {
+		panic(fmt.Sprintf("platform: invalid SMT level %d", smt))
+	}
+	return NodeSpec{
+		Name:        "frontier",
+		UsableCores: 56,
+		SMT:         smt,
+		GPUs:        8,
+		MemGB:       512,
+	}
+}
+
+// Node is one compute node with slot ledgers.
+type Node struct {
+	ID        int
+	Spec      NodeSpec
+	freeCPU   int
+	freeGPU   int
+	allocated bool // reserved exclusively (multi-node MPI jobs)
+}
+
+// FreeCPU returns the free CPU slots on the node.
+func (n *Node) FreeCPU() int { return n.freeCPU }
+
+// FreeGPU returns the free GPU slots on the node.
+func (n *Node) FreeGPU() int { return n.freeGPU }
+
+// Exclusive reports whether the node is reserved whole.
+func (n *Node) Exclusive() bool { return n.allocated }
+
+// Cluster is a set of nodes of a single profile.
+type Cluster struct {
+	Spec  NodeSpec
+	nodes []*Node
+}
+
+// NewCluster builds a cluster of n nodes with the given spec.
+func NewCluster(spec NodeSpec, n int) *Cluster {
+	if n <= 0 {
+		panic("platform: cluster needs at least one node")
+	}
+	c := &Cluster{Spec: spec}
+	c.nodes = make([]*Node, n)
+	for i := range c.nodes {
+		c.nodes[i] = &Node{
+			ID:      i,
+			Spec:    spec,
+			freeCPU: spec.Slots(),
+			freeGPU: spec.GPUs,
+		}
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// TotalCPU returns total CPU slots across the cluster.
+func (c *Cluster) TotalCPU() int { return len(c.nodes) * c.Spec.Slots() }
+
+// TotalGPU returns total GPU slots across the cluster.
+func (c *Cluster) TotalGPU() int { return len(c.nodes) * c.Spec.GPUs }
+
+// Allocation is a set of nodes granted to a pilot job. Backends partition
+// allocations further; placement happens against the allocation's ledger.
+type Allocation struct {
+	Cluster *Cluster
+	Nodes   []*Node
+	util    *UtilizationTracker
+}
+
+// Allocate grants n whole nodes from the cluster. It panics if the request
+// exceeds the machine: batch-queue waiting time is out of scope (the paper
+// measures inside an active allocation).
+func (c *Cluster) Allocate(n int) *Allocation {
+	if n > len(c.nodes) {
+		panic(fmt.Sprintf("platform: allocation of %d nodes exceeds cluster size %d", n, len(c.nodes)))
+	}
+	a := &Allocation{Cluster: c, Nodes: c.nodes[:n]}
+	return a
+}
+
+// Size returns the number of allocated nodes.
+func (a *Allocation) Size() int { return len(a.Nodes) }
+
+// TotalCPU returns the CPU slots in the allocation.
+func (a *Allocation) TotalCPU() int { return len(a.Nodes) * a.Cluster.Spec.Slots() }
+
+// TotalGPU returns the GPU slots in the allocation.
+func (a *Allocation) TotalGPU() int { return len(a.Nodes) * a.Cluster.Spec.GPUs }
+
+// AttachUtilization stores the tracker handle shared by all partitions of
+// this allocation. Execution layers report to it at task start/end; Claim
+// and Release deliberately do not touch it, because utilization measures
+// *executing* tasks (a placed-but-not-launched task does not count — this
+// distinction is what makes srun's 50 % ceiling visible in Fig 4).
+func (a *Allocation) AttachUtilization(u *UtilizationTracker) { a.util = u }
+
+// Utilization returns the attached tracker (may be nil).
+func (a *Allocation) Utilization() *UtilizationTracker { return a.util }
+
+// Partition splits the allocation into k contiguous sub-allocations of
+// near-equal size (remainder nodes spread over the first partitions). Each
+// partition shares the parent's utilization tracker.
+func (a *Allocation) Partition(k int) []*Allocation {
+	if k <= 0 {
+		panic("platform: partition count must be positive")
+	}
+	if k > len(a.Nodes) {
+		panic(fmt.Sprintf("platform: cannot split %d nodes into %d partitions", len(a.Nodes), k))
+	}
+	parts := make([]*Allocation, k)
+	base := len(a.Nodes) / k
+	rem := len(a.Nodes) % k
+	idx := 0
+	for i := 0; i < k; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		parts[i] = &Allocation{Cluster: a.Cluster, Nodes: a.Nodes[idx : idx+n], util: a.util}
+		idx += n
+	}
+	return parts
+}
+
+// Slice returns a sub-allocation of n nodes starting at offset start within
+// this allocation. The sub-allocation shares the parent's node ledgers and
+// utilization tracker (used for nested Flux instances).
+func (a *Allocation) Slice(start, n int) *Allocation {
+	if start < 0 || n <= 0 || start+n > len(a.Nodes) {
+		panic(fmt.Sprintf("platform: invalid slice [%d:%d) of %d-node allocation", start, start+n, len(a.Nodes)))
+	}
+	return &Allocation{Cluster: a.Cluster, Nodes: a.Nodes[start : start+n], util: a.util}
+}
+
+// Placement is a concrete resource assignment for one task.
+type Placement struct {
+	// NodeIDs lists the nodes involved.
+	NodeIDs []int
+	// CPUSlots and GPUSlots are per-node counts claimed on each node in
+	// NodeIDs (parallel slices).
+	CPUSlots []int
+	GPUSlots []int
+}
+
+// TotalCPU returns the total CPU slots claimed.
+func (p *Placement) TotalCPU() int {
+	t := 0
+	for _, c := range p.CPUSlots {
+		t += c
+	}
+	return t
+}
+
+// TotalGPU returns the total GPU slots claimed.
+func (p *Placement) TotalGPU() int {
+	t := 0
+	for _, g := range p.GPUSlots {
+		t += g
+	}
+	return t
+}
+
+// Claim marks the placement's slots busy. It returns an error if any slot is
+// unavailable; on error nothing is claimed.
+func (a *Allocation) Claim(at sim.Time, p *Placement) error {
+	// Validate first so the claim is all-or-nothing.
+	for i, id := range p.NodeIDs {
+		n := a.Cluster.nodes[id]
+		if p.CPUSlots[i] > n.freeCPU {
+			return fmt.Errorf("platform: node %d has %d free CPU slots, need %d", id, n.freeCPU, p.CPUSlots[i])
+		}
+		if p.GPUSlots[i] > n.freeGPU {
+			return fmt.Errorf("platform: node %d has %d free GPU slots, need %d", id, n.freeGPU, p.GPUSlots[i])
+		}
+	}
+	for i, id := range p.NodeIDs {
+		n := a.Cluster.nodes[id]
+		n.freeCPU -= p.CPUSlots[i]
+		n.freeGPU -= p.GPUSlots[i]
+	}
+	_ = at // placement time is kept in the signature for symmetry and tracing hooks
+	return nil
+}
+
+// Release returns the placement's slots to the free pool.
+func (a *Allocation) Release(at sim.Time, p *Placement) {
+	for i, id := range p.NodeIDs {
+		n := a.Cluster.nodes[id]
+		n.freeCPU += p.CPUSlots[i]
+		n.freeGPU += p.GPUSlots[i]
+		if n.freeCPU > n.Spec.Slots() || n.freeGPU > n.Spec.GPUs {
+			panic(fmt.Sprintf("platform: double release on node %d", id))
+		}
+	}
+	_ = at
+}
+
+// UtilizationTracker integrates busy resource-time. It is event-driven: the
+// integral advances only when occupancy changes, so tracking is O(1) per
+// task regardless of run length.
+type UtilizationTracker struct {
+	totalCPU int
+	totalGPU int
+
+	busyCPU int
+	busyGPU int
+
+	last        sim.Time
+	cpuBusyTime float64 // core-seconds
+	gpuBusyTime float64 // gpu-seconds
+
+	// Peaks for concurrency assertions.
+	PeakCPU int
+	PeakGPU int
+}
+
+// NewUtilizationTracker tracks utilization against the given capacity.
+func NewUtilizationTracker(totalCPU, totalGPU int) *UtilizationTracker {
+	return &UtilizationTracker{totalCPU: totalCPU, totalGPU: totalGPU}
+}
+
+func (u *UtilizationTracker) advance(at sim.Time) {
+	dt := at.Sub(u.last).Seconds()
+	if dt < 0 {
+		panic("platform: utilization time went backwards")
+	}
+	u.cpuBusyTime += float64(u.busyCPU) * dt
+	u.gpuBusyTime += float64(u.busyGPU) * dt
+	u.last = at
+}
+
+// Add records cpu/gpu slots becoming busy at time at.
+func (u *UtilizationTracker) Add(at sim.Time, cpu, gpu int) {
+	u.advance(at)
+	u.busyCPU += cpu
+	u.busyGPU += gpu
+	if u.busyCPU > u.PeakCPU {
+		u.PeakCPU = u.busyCPU
+	}
+	if u.busyGPU > u.PeakGPU {
+		u.PeakGPU = u.busyGPU
+	}
+	if u.busyCPU > u.totalCPU || u.busyGPU > u.totalGPU {
+		panic(fmt.Sprintf("platform: utilization exceeds capacity (cpu %d/%d, gpu %d/%d)",
+			u.busyCPU, u.totalCPU, u.busyGPU, u.totalGPU))
+	}
+}
+
+// Remove records cpu/gpu slots becoming free at time at.
+func (u *UtilizationTracker) Remove(at sim.Time, cpu, gpu int) {
+	u.advance(at)
+	u.busyCPU -= cpu
+	u.busyGPU -= gpu
+	if u.busyCPU < 0 || u.busyGPU < 0 {
+		panic("platform: negative utilization")
+	}
+}
+
+// BusyCPU returns currently busy CPU slots.
+func (u *UtilizationTracker) BusyCPU() int { return u.busyCPU }
+
+// BusyGPU returns currently busy GPU slots.
+func (u *UtilizationTracker) BusyGPU() int { return u.busyGPU }
+
+// CPUUtilization returns the time-averaged CPU utilization over [start, end]
+// as a fraction in [0,1].
+func (u *UtilizationTracker) CPUUtilization(start, end sim.Time) float64 {
+	u.advance(end)
+	span := end.Sub(start).Seconds()
+	if span <= 0 || u.totalCPU == 0 {
+		return 0
+	}
+	return u.cpuBusyTime / (float64(u.totalCPU) * span)
+}
+
+// GPUUtilization returns the time-averaged GPU utilization over [start, end].
+func (u *UtilizationTracker) GPUUtilization(start, end sim.Time) float64 {
+	u.advance(end)
+	span := end.Sub(start).Seconds()
+	if span <= 0 || u.totalGPU == 0 {
+		return 0
+	}
+	return u.gpuBusyTime / (float64(u.totalGPU) * span)
+}
+
+// CoreSeconds returns accumulated busy core-seconds up to the last advance.
+func (u *UtilizationTracker) CoreSeconds() float64 { return u.cpuBusyTime }

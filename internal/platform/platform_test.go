@@ -1,0 +1,184 @@
+package platform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rpgo/internal/sim"
+)
+
+func TestFrontierProfile(t *testing.T) {
+	f := Frontier(1)
+	if f.UsableCores != 56 || f.GPUs != 8 || f.Slots() != 56 {
+		t.Fatalf("frontier SMT1: %+v slots=%d", f, f.Slots())
+	}
+	if Frontier(4).Slots() != 224 {
+		t.Fatalf("frontier SMT4 slots = %d, want 224", Frontier(4).Slots())
+	}
+	assertPanics(t, "invalid SMT", func() { Frontier(3) })
+}
+
+func TestClusterTotals(t *testing.T) {
+	c := NewCluster(Frontier(1), 4)
+	if c.Size() != 4 || c.TotalCPU() != 224 || c.TotalGPU() != 32 {
+		t.Fatalf("cluster: size=%d cpu=%d gpu=%d", c.Size(), c.TotalCPU(), c.TotalGPU())
+	}
+}
+
+func TestAllocationPartition(t *testing.T) {
+	c := NewCluster(Frontier(1), 10)
+	a := c.Allocate(10)
+	parts := a.Partition(3)
+	sizes := []int{parts[0].Size(), parts[1].Size(), parts[2].Size()}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("partition sizes = %v, want [4 3 3]", sizes)
+	}
+	// Partitions must be disjoint.
+	seen := map[int]bool{}
+	for _, p := range parts {
+		for _, n := range p.Nodes {
+			if seen[n.ID] {
+				t.Fatalf("node %d in two partitions", n.ID)
+			}
+			seen[n.ID] = true
+		}
+	}
+}
+
+func TestAllocationSlice(t *testing.T) {
+	c := NewCluster(Frontier(1), 8)
+	a := c.Allocate(8)
+	s := a.Slice(2, 3)
+	if s.Size() != 3 || s.Nodes[0].ID != 2 {
+		t.Fatalf("slice: size=%d first=%d", s.Size(), s.Nodes[0].ID)
+	}
+	assertPanics(t, "bad slice", func() { a.Slice(6, 3) })
+}
+
+func TestClaimReleaseLedger(t *testing.T) {
+	c := NewCluster(Frontier(1), 2)
+	a := c.Allocate(2)
+	pl := &Placement{NodeIDs: []int{0}, CPUSlots: []int{30}, GPUSlots: []int{4}}
+	if err := a.Claim(0, pl); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(0).FreeCPU() != 26 || c.Node(0).FreeGPU() != 4 {
+		t.Fatalf("ledger after claim: cpu=%d gpu=%d", c.Node(0).FreeCPU(), c.Node(0).FreeGPU())
+	}
+	// Over-claim must fail atomically.
+	big := &Placement{NodeIDs: []int{0}, CPUSlots: []int{27}, GPUSlots: []int{0}}
+	if err := a.Claim(0, big); err == nil {
+		t.Fatal("over-claim should fail")
+	}
+	if c.Node(0).FreeCPU() != 26 {
+		t.Fatal("failed claim must not change the ledger")
+	}
+	a.Release(0, pl)
+	if c.Node(0).FreeCPU() != 56 || c.Node(0).FreeGPU() != 8 {
+		t.Fatal("release did not restore ledger")
+	}
+	assertPanics(t, "double release", func() { a.Release(0, pl) })
+}
+
+func TestMultiNodeClaimAtomicity(t *testing.T) {
+	c := NewCluster(Frontier(1), 3)
+	a := c.Allocate(3)
+	// Fill node 1 completely.
+	full := &Placement{NodeIDs: []int{1}, CPUSlots: []int{56}, GPUSlots: []int{0}}
+	if err := a.Claim(0, full); err != nil {
+		t.Fatal(err)
+	}
+	// A 3-node claim includes the full node: must fail and leave nodes 0
+	// and 2 untouched.
+	tri := &Placement{NodeIDs: []int{0, 1, 2}, CPUSlots: []int{10, 10, 10}, GPUSlots: []int{0, 0, 0}}
+	if err := a.Claim(0, tri); err == nil {
+		t.Fatal("claim across a full node should fail")
+	}
+	if c.Node(0).FreeCPU() != 56 || c.Node(2).FreeCPU() != 56 {
+		t.Fatal("failed multi-node claim leaked slots")
+	}
+}
+
+func TestUtilizationIntegration(t *testing.T) {
+	u := NewUtilizationTracker(100, 10)
+	u.Add(sim.Time(0), 50, 5)
+	u.Remove(sim.Time(10*sim.Second), 50, 5)
+	// 50 busy cores for 10 s of a 20 s window on 100 cores = 25 %.
+	if got := u.CPUUtilization(0, sim.Time(20*sim.Second)); got != 0.25 {
+		t.Fatalf("cpu util = %v, want 0.25", got)
+	}
+	if got := u.GPUUtilization(0, sim.Time(20*sim.Second)); got != 0.25 {
+		t.Fatalf("gpu util = %v, want 0.25", got)
+	}
+	if u.PeakCPU != 50 || u.PeakGPU != 5 {
+		t.Fatalf("peaks: %d/%d", u.PeakCPU, u.PeakGPU)
+	}
+}
+
+func TestUtilizationOverCapacityPanics(t *testing.T) {
+	u := NewUtilizationTracker(10, 0)
+	assertPanics(t, "over capacity", func() { u.Add(0, 11, 0) })
+}
+
+func TestUtilizationNegativePanics(t *testing.T) {
+	u := NewUtilizationTracker(10, 10)
+	assertPanics(t, "negative busy", func() { u.Remove(0, 1, 0) })
+}
+
+// TestLedgerConservationProperty claims and releases random placements and
+// verifies slots are conserved and never oversubscribed.
+func TestLedgerConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewCluster(Frontier(1), 4)
+		a := c.Allocate(4)
+		var live []*Placement
+		for i := 0; i < 300; i++ {
+			if r.Intn(2) == 0 && len(live) > 0 {
+				k := r.Intn(len(live))
+				a.Release(0, live[k])
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			pl := &Placement{
+				NodeIDs:  []int{r.Intn(4)},
+				CPUSlots: []int{r.Intn(20) + 1},
+				GPUSlots: []int{r.Intn(3)},
+			}
+			if a.Claim(0, pl) == nil {
+				live = append(live, pl)
+			}
+		}
+		// Invariants: free slots within [0, cap] on every node.
+		for i := 0; i < 4; i++ {
+			n := c.Node(i)
+			if n.FreeCPU() < 0 || n.FreeCPU() > 56 || n.FreeGPU() < 0 || n.FreeGPU() > 8 {
+				return false
+			}
+		}
+		// Release everything: ledgers must return to full.
+		for _, pl := range live {
+			a.Release(0, pl)
+		}
+		for i := 0; i < 4; i++ {
+			if c.Node(i).FreeCPU() != 56 || c.Node(i).FreeGPU() != 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,291 @@
+// Package prrte models the PMIx Reference RunTime Environment, the
+// launcher RP integrated before Flux and Dragon (paper §5).
+//
+// PRRTE occupies a distinct design point: a persistent distributed virtual
+// machine (DVM) of daemons is started once per partition, after which
+// `prun` launches tasks into it with low per-task overhead — but PRRTE has
+// *no internal scheduler*: placement and coordination are delegated to the
+// caller. Here RP's shared Placer does the placement (exactly the division
+// of labour the paper describes: "RP complements PRRTE's minimalist design
+// by supplying scheduling, fault tolerance, and coordination logic").
+//
+// The model reproduces the published RP+PRRTE behaviour (Titov et al.,
+// JSSPP'22, cited as [27]): DVM startup of ~10 s and a modest flat launch
+// rate that neither benefits from partition size (no broker hierarchy)
+// nor collapses at scale (no central Slurm controller on the task path) —
+// the paper's related-work narrative gives ~14 t/s for the pre-Flux stack.
+package prrte
+
+import (
+	"fmt"
+	"math"
+
+	"rpgo/internal/launch"
+	"rpgo/internal/platform"
+	"rpgo/internal/rng"
+	"rpgo/internal/sim"
+	"rpgo/internal/slurm"
+	"rpgo/internal/spec"
+)
+
+// Params holds the DVM model constants.
+type Params struct {
+	// BootstrapMedian/Sigma: DVM daemon wire-up across the partition.
+	BootstrapMedian     float64
+	BootstrapSigma      float64
+	BootstrapPerLogNode float64
+	// Rate is the sustained prun launch rate (flat in partition size).
+	Rate float64
+	// RunSigma is the per-run variability.
+	RunSigma float64
+	// PrunLatencyMedian/Sigma: per-launch client latency.
+	PrunLatencyMedian float64
+	PrunLatencySigma  float64
+}
+
+// DefaultParams returns the calibrated PRRTE constants.
+func DefaultParams() Params {
+	return Params{
+		BootstrapMedian:     10.5,
+		BootstrapSigma:      0.10,
+		BootstrapPerLogNode: 0.25,
+		Rate:                14,
+		RunSigma:            0.20,
+		PrunLatencyMedian:   0.060,
+		PrunLatencySigma:    0.40,
+	}
+}
+
+// DVM is one PRRTE distributed virtual machine over a partition.
+type DVM struct {
+	name   string
+	eng    *sim.Engine
+	params Params
+	ctrl   *slurm.Controller
+	plc    *launch.Placer
+	util   *platform.UtilizationTracker
+	rand   *rng.Stream
+
+	queue   []*launch.Request
+	running map[*launch.Request]*platform.Placement
+
+	ready       bool
+	readyFns    []func()
+	t0          sim.Time
+	bootstrap   sim.Duration
+	releaseSrun func()
+
+	// launcher serializes prun invocations (the flat-rate bottleneck).
+	launcher *sim.Server[*dvmLaunch]
+	rateMult float64
+	crashed  bool
+	stats    launch.Stats
+
+	// OnException reports DVM-level failures to the executor.
+	OnException func(reason string)
+}
+
+type dvmLaunch struct {
+	r  *launch.Request
+	pl *platform.Placement
+}
+
+// NewDVM creates and boots a DVM over the partition.
+func NewDVM(name string, params Params, eng *sim.Engine, ctrl *slurm.Controller,
+	part *platform.Allocation, util *platform.UtilizationTracker, src *rng.Source) *DVM {
+	d := &DVM{
+		name:    name,
+		eng:     eng,
+		params:  params,
+		ctrl:    ctrl,
+		plc:     launch.NewPlacer(part),
+		util:    util,
+		rand:    src.Stream("prrte." + name),
+		running: make(map[*launch.Request]*platform.Placement),
+		t0:      eng.Now(),
+	}
+	d.rateMult = d.rand.LogNormal(1, params.RunSigma)
+	d.launcher = sim.NewServer(eng, 1, d.serviceTime, d.launched)
+	d.boot()
+	return d
+}
+
+func (d *DVM) boot() {
+	dur := sim.Seconds(d.rand.LogNormal(
+		d.params.BootstrapMedian+d.params.BootstrapPerLogNode*math.Log2(float64(d.Nodes())+1),
+		d.params.BootstrapSigma))
+	// The DVM is srun-launched once and holds its slot for its lifetime.
+	d.ctrl.StartStep(d.Nodes(), 1, func(release func()) {
+		d.releaseSrun = release
+		left := sim.Duration(0)
+		if spent := d.eng.Now().Sub(d.t0); spent < dur {
+			left = dur - spent
+		}
+		d.eng.After(left, func() {
+			if d.crashed {
+				return
+			}
+			d.ready = true
+			d.bootstrap = d.eng.Now().Sub(d.t0)
+			fns := d.readyFns
+			d.readyFns = nil
+			for _, fn := range fns {
+				d.eng.Immediately(fn)
+			}
+			d.pump()
+		})
+	})
+}
+
+// Name implements launch.Launcher.
+func (d *DVM) Name() string { return d.name }
+
+// Backend implements launch.Launcher.
+func (d *DVM) Backend() spec.Backend { return spec.BackendPRRTE }
+
+// Nodes implements launch.Launcher.
+func (d *DVM) Nodes() int { return d.plc.Partition().Size() }
+
+// Ready implements launch.Launcher.
+func (d *DVM) Ready(fn func()) {
+	if d.ready {
+		d.eng.Immediately(fn)
+		return
+	}
+	d.readyFns = append(d.readyFns, fn)
+}
+
+// BootstrapOverhead implements launch.Launcher.
+func (d *DVM) BootstrapOverhead() sim.Duration { return d.bootstrap }
+
+// Stats implements launch.Launcher.
+func (d *DVM) Stats() launch.Stats {
+	st := d.stats
+	st.QueueLen = len(d.queue)
+	return st
+}
+
+// Rate returns the effective prun launch rate.
+func (d *DVM) Rate() float64 { return d.params.Rate * d.rateMult }
+
+// Submit implements launch.Launcher.
+func (d *DVM) Submit(r *launch.Request) {
+	d.stats.Submitted++
+	if d.crashed {
+		d.fail(r, "prrte DVM down")
+		return
+	}
+	if !d.plc.Fits(r.TD) {
+		d.fail(r, fmt.Sprintf("task %s cannot fit DVM partition of %d nodes", r.UID, d.Nodes()))
+		return
+	}
+	d.queue = append(d.queue, r)
+	d.pump()
+}
+
+// Drain implements launch.Launcher.
+func (d *DVM) Drain(reason string) {
+	q := d.queue
+	d.queue = nil
+	for _, r := range q {
+		d.fail(r, reason)
+	}
+}
+
+// Crash kills the DVM: queued and running tasks fail, resources release.
+func (d *DVM) Crash(reason string) {
+	if d.crashed {
+		return
+	}
+	d.crashed = true
+	if d.releaseSrun != nil {
+		d.releaseSrun()
+		d.releaseSrun = nil
+	}
+	d.Drain(reason)
+	now := d.eng.Now()
+	for r, pl := range d.running {
+		delete(d.running, r)
+		if d.util != nil {
+			d.util.Remove(now, pl.TotalCPU(), pl.TotalGPU())
+		}
+		d.plc.Partition().Release(now, pl)
+		d.fail(r, reason)
+	}
+	if d.OnException != nil {
+		d.OnException(reason)
+	}
+}
+
+// Shutdown tears the DVM down gracefully.
+func (d *DVM) Shutdown() {
+	d.Drain("prrte DVM shutdown")
+	if d.releaseSrun != nil {
+		d.releaseSrun()
+		d.releaseSrun = nil
+	}
+}
+
+func (d *DVM) fail(r *launch.Request, reason string) {
+	d.stats.Failed++
+	at := d.eng.Now()
+	d.eng.Immediately(func() { r.OnComplete(at, true, reason) })
+}
+
+// pump places queued tasks (RP-side placement: PRRTE has no scheduler) and
+// feeds the serial prun launcher.
+func (d *DVM) pump() {
+	if !d.ready || d.crashed {
+		return
+	}
+	for len(d.queue) > 0 {
+		r := d.queue[0]
+		pl := d.plc.Place(d.eng.Now(), r.TD)
+		if pl == nil {
+			return
+		}
+		d.queue = d.queue[1:]
+		d.launcher.Submit(&dvmLaunch{r: r, pl: pl})
+	}
+}
+
+func (d *DVM) serviceTime(*dvmLaunch) sim.Duration {
+	return sim.Seconds(d.rand.Exp(1 / d.Rate()))
+}
+
+func (d *DVM) launched(l *dvmLaunch) {
+	if d.crashed {
+		d.plc.Partition().Release(d.eng.Now(), l.pl)
+		d.fail(l.r, "prrte DVM down")
+		return
+	}
+	lat := d.rand.LogNormal(d.params.PrunLatencyMedian, d.params.PrunLatencySigma)
+	d.eng.After(sim.Seconds(lat), func() {
+		if d.crashed {
+			d.plc.Partition().Release(d.eng.Now(), l.pl)
+			d.fail(l.r, "prrte DVM down")
+			return
+		}
+		now := d.eng.Now()
+		d.stats.Started++
+		d.running[l.r] = l.pl
+		if d.util != nil {
+			d.util.Add(now, l.pl.TotalCPU(), l.pl.TotalGPU())
+		}
+		l.r.OnStart(now)
+		d.eng.After(l.r.TD.Duration, func() {
+			if _, ok := d.running[l.r]; !ok {
+				return
+			}
+			delete(d.running, l.r)
+			end := d.eng.Now()
+			if d.util != nil {
+				d.util.Remove(end, l.pl.TotalCPU(), l.pl.TotalGPU())
+			}
+			d.plc.Partition().Release(end, l.pl)
+			d.stats.Completed++
+			l.r.OnComplete(end, false, "")
+			d.pump()
+		})
+	})
+}

@@ -1,0 +1,239 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine drives every runtime model in this repository: virtual time is
+// an int64 microsecond counter, events are callbacks ordered by (time,
+// sequence), and all components are single-threaded state machines. Given
+// the same seed and the same sequence of Schedule calls, a simulation run is
+// bit-for-bit reproducible, which the test suite relies on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in microseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000
+	Second      Duration = 1000 * 1000
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// Seconds converts a float64 number of seconds to a Duration, rounding to
+// the nearest microsecond. Negative inputs clamp to zero: latency models
+// occasionally produce tiny negative samples and the engine requires
+// non-negative delays.
+func Seconds(s float64) Duration {
+	if s <= 0 || math.IsNaN(s) {
+		return 0
+	}
+	return Duration(math.Round(s * 1e6))
+}
+
+// Seconds reports the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e6 }
+
+// Seconds reports the time as a float64 number of seconds since start.
+func (t Time) Seconds() float64 { return float64(t) / 1e6 }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Seconds()) }
+
+// event is a scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when popped or cancelled
+	cancel bool
+}
+
+// eventHeap orders events by (at, seq) so same-time events fire in the order
+// they were scheduled, which keeps runs deterministic.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the callback was still pending;
+// stopping an already-fired or already-stopped timer returns false and has
+// no effect. (A fired event has fn == nil: step clears it before running.)
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancel || t.ev.fn == nil {
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}
+
+// Engine is the discrete-event simulation core.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running bool
+	steps   uint64
+	// MaxSteps aborts Run with a panic if the event count exceeds it.
+	// Zero means no limit. It exists to catch accidental event storms in
+	// tests.
+	MaxSteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time at. Times in the past run at the
+// current time (never before: virtual time is monotone).
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Immediately schedules fn at the current time, after already-queued
+// same-time events.
+func (e *Engine) Immediately(fn func()) *Timer {
+	return e.At(e.now, fn)
+}
+
+// step pops and runs one event. It reports false when no events remain.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancel {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.steps++
+		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
+		}
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.step() {
+	}
+}
+
+// RunUntil processes events with time ≤ deadline, then sets the clock to the
+// deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	if e.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		// Peek at the earliest uncancelled event.
+		ev := e.events[0]
+		if ev.cancel {
+			heap.Pop(&e.events)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Errorf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if Seconds(-3) != 0 {
+		t.Errorf("negative seconds should clamp to 0, got %v", Seconds(-3))
+	}
+	if d := (2 * Second).Seconds(); d != 2.0 {
+		t.Errorf("(2s).Seconds() = %v", d)
+	}
+	tm := Time(0).Add(3 * Second)
+	if tm.Seconds() != 3.0 {
+		t.Errorf("Add: %v", tm)
+	}
+	if tm.Sub(Time(Second)) != 2*Second {
+		t.Errorf("Sub: %v", tm.Sub(Time(Second)))
+	}
+}
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Duration{5 * Second, Second, 3 * Second, 2 * Second, 4 * Second} {
+		e.After(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+	if e.Now() != Time(5*Second) {
+		t.Fatalf("clock = %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		e.At(Time(Second), func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.After(Millisecond, rec)
+		}
+	}
+	e.Immediately(rec)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != Time(99*Millisecond) {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestEnginePastEventsClampToNow(t *testing.T) {
+	e := NewEngine()
+	e.After(Second, func() {
+		e.At(0, func() {
+			if e.Now() != Time(Second) {
+				t.Errorf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.After(Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer should return true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should return false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.After(Second, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire should return false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i)*Time(Second), func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(Time(3 * Second))
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by t=3s, want 3", len(fired))
+	}
+	if e.Now() != Time(3*Second) {
+		t.Fatalf("clock = %v, want 3s", e.Now())
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(Time(10 * Second))
+	if e.Now() != Time(10*Second) {
+		t.Fatalf("clock = %v, want 10s", e.Now())
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	t1 := e.After(Second, func() {})
+	e.After(2*Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	t1.Stop()
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d, want 1", e.Pending())
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	e := NewEngine()
+	e.MaxSteps = 10
+	var loop func()
+	loop = func() { e.Immediately(loop) }
+	e.Immediately(loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected MaxSteps panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	e.After(Second, nil)
+}
+
+// TestClockMonotoneProperty schedules random events (including nested ones)
+// and asserts the observed clock never goes backwards.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		var observe func()
+		observe = func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if r.Intn(3) == 0 {
+				e.After(Duration(r.Intn(1000))*Millisecond, observe)
+			}
+		}
+		for i := 0; i < int(n)%50+1; i++ {
+			e.After(Duration(r.Intn(10000))*Millisecond, observe)
+		}
+		e.MaxSteps = 100000
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDeterminism runs the same random program twice and compares
+// the full event schedule.
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Time {
+		r := rand.New(rand.NewSource(99))
+		e := NewEngine()
+		var trace []Time
+		var spawn func()
+		spawn = func() {
+			trace = append(trace, e.Now())
+			if len(trace) < 500 {
+				e.After(Duration(r.Intn(100))*Millisecond, spawn)
+				if r.Intn(2) == 0 {
+					e.After(Duration(r.Intn(100))*Millisecond, spawn)
+				}
+			}
+		}
+		e.Immediately(spawn)
+		e.MaxSteps = 10000
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

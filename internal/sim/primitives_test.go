@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSemaphoreGrantsFIFO(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 2)
+	var order []int
+	for i := 0; i < 5; i++ {
+		s.Acquire(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	if len(order) != 2 {
+		t.Fatalf("granted %d, want 2 (capacity)", len(order))
+	}
+	if order[0] != 0 || order[1] != 1 {
+		t.Fatalf("grants not FIFO: %v", order)
+	}
+	s.Release(1)
+	e.Run()
+	if len(order) != 3 || order[2] != 2 {
+		t.Fatalf("after release: %v", order)
+	}
+}
+
+func TestSemaphoreLargeRequestBlocksLater(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 4)
+	var got []string
+	s.Acquire(3, func() { got = append(got, "big1") })
+	s.Acquire(3, func() { got = append(got, "big2") }) // must wait
+	s.Acquire(1, func() { got = append(got, "small") })
+	e.Run()
+	// FIFO: big2 at the head blocks small even though small would fit.
+	if len(got) != 1 || got[0] != "big1" {
+		t.Fatalf("got %v, want [big1] only", got)
+	}
+	s.Release(3)
+	e.Run()
+	if len(got) != 3 || got[1] != "big2" || got[2] != "small" {
+		t.Fatalf("after release got %v", got)
+	}
+}
+
+func TestSemaphoreHighWater(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 10)
+	s.Acquire(4, func() {})
+	s.Acquire(5, func() {})
+	e.Run()
+	if s.HighWater != 9 {
+		t.Fatalf("high water = %d, want 9", s.HighWater)
+	}
+	s.Release(9)
+	if s.HighWater != 9 {
+		t.Fatalf("high water should persist, got %d", s.HighWater)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 2)
+	if !s.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) on empty semaphore should succeed")
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire beyond capacity should fail")
+	}
+	s.Release(2)
+	s.Acquire(2, func() {})
+	// A waiter is queued (granted asynchronously); TryAcquire must not
+	// jump it.
+	s.Acquire(1, func() {})
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire should fail while earlier waiters are queued")
+	}
+}
+
+func TestSemaphoreMisuse(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 1)
+	assertPanics(t, "release without acquire", func() { s.Release(1) })
+	assertPanics(t, "acquire zero", func() { s.Acquire(0, func() {}) })
+	assertPanics(t, "acquire beyond capacity", func() { s.Acquire(2, func() {}) })
+}
+
+// TestSemaphoreNeverExceedsCapacity drives a random acquire/release program
+// and checks the invariant the srun ceiling depends on.
+func TestSemaphoreNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw)%16 + 1
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		s := NewSemaphore(e, capacity)
+		ok := true
+		held := 0
+		for i := 0; i < 200; i++ {
+			n := r.Intn(capacity) + 1
+			e.After(Duration(r.Intn(1000))*Millisecond, func() {
+				s.Acquire(n, func() {
+					if s.InUse() > capacity {
+						ok = false
+					}
+					held += n
+					e.After(Duration(r.Intn(500))*Millisecond, func() {
+						held -= n
+						s.Release(n)
+					})
+				})
+			})
+		}
+		e.MaxSteps = 100000
+		e.Run()
+		return ok && s.InUse() == 0 && s.HighWater <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFODeliversInOrder(t *testing.T) {
+	e := NewEngine()
+	q := NewFIFO[int](e)
+	var got []int
+	q.Push(1)
+	q.Push(2)
+	q.SetConsumer(func(v int) { got = append(got, v) })
+	q.Push(3)
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if q.Pushed() != 3 || q.Popped() != 3 || q.Len() != 0 {
+		t.Fatalf("counters: pushed=%d popped=%d len=%d", q.Pushed(), q.Popped(), q.Len())
+	}
+}
+
+func TestFIFOHighWater(t *testing.T) {
+	e := NewEngine()
+	q := NewFIFO[int](e)
+	for i := 0; i < 7; i++ {
+		q.Push(i)
+	}
+	if q.HighWater != 7 {
+		t.Fatalf("high water = %d", q.HighWater)
+	}
+	q.SetConsumer(func(int) {})
+	e.Run()
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after drain", q.Len())
+	}
+}
+
+func TestFIFOSecondConsumerPanics(t *testing.T) {
+	e := NewEngine()
+	q := NewFIFO[int](e)
+	q.SetConsumer(func(int) {})
+	assertPanics(t, "second consumer", func() { q.SetConsumer(func(int) {}) })
+}
+
+func TestFIFOConsumerCanPush(t *testing.T) {
+	e := NewEngine()
+	q := NewFIFO[int](e)
+	var got []int
+	q.SetConsumer(func(v int) {
+		got = append(got, v)
+		if v < 5 {
+			q.Push(v + 1)
+		}
+	})
+	q.Push(0)
+	e.MaxSteps = 1000
+	e.Run()
+	if len(got) != 6 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestServerParallelism(t *testing.T) {
+	e := NewEngine()
+	var done []Time
+	srv := NewServer(e, 2, func(int) Duration { return Second }, func(int) {
+		done = append(done, e.Now())
+	})
+	for i := 0; i < 4; i++ {
+		srv.Submit(i)
+	}
+	if srv.Busy() != 2 || srv.QueueLen() != 2 {
+		t.Fatalf("busy=%d queue=%d, want 2/2", srv.Busy(), srv.QueueLen())
+	}
+	e.Run()
+	// Two servers, 1 s service: completions at 1 s and 2 s.
+	if done[0] != Time(Second) || done[1] != Time(Second) ||
+		done[2] != Time(2*Second) || done[3] != Time(2*Second) {
+		t.Fatalf("completion times: %v", done)
+	}
+	if srv.BusyTotal() != 4*Second {
+		t.Fatalf("busy total = %v, want 4s", srv.BusyTotal())
+	}
+}
+
+func TestServerPerItemCallback(t *testing.T) {
+	e := NewEngine()
+	srv := NewServer(e, 1, func(int) Duration { return Second }, func(int) {
+		t.Fatal("server-wide callback must not fire when per-item is set")
+	})
+	fired := false
+	srv.SubmitFunc(7, func(v int) {
+		if v != 7 {
+			t.Errorf("got %d", v)
+		}
+		fired = true
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("per-item callback never fired")
+	}
+}
+
+func TestServerRateApproximation(t *testing.T) {
+	// A single server with 10 ms service must process ~100 items/s.
+	e := NewEngine()
+	n := 0
+	srv := NewServer(e, 1, func(int) Duration { return 10 * Millisecond }, func(int) { n++ })
+	for i := 0; i < 1000; i++ {
+		srv.Submit(i)
+	}
+	e.RunUntil(Time(5 * Second))
+	if n != 500 {
+		t.Fatalf("processed %d items in 5s at 100/s, want 500", n)
+	}
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,228 @@
+// Package slurm models the system-level resource and job management layer:
+// a Slurm controller with Frontier's concurrency ceiling on srun
+// invocations, a step-registration service whose rate degrades with
+// allocation size, and an srun-based task launcher.
+//
+// Two properties drive every srun result in the paper and are first-class
+// mechanisms here:
+//
+//  1. a system-wide cap (112 on Frontier) on concurrently active srun
+//     processes — each srun wraps its task for the task's entire lifetime,
+//     so task concurrency is capped regardless of free cores (§4.1.1,
+//     Fig 4);
+//  2. step registration through the central controller, a serial bottleneck
+//     whose service rate decays with the number of nodes in the allocation
+//     (§6: 152 tasks/s at 1 node → 61 tasks/s at 4 nodes).
+package slurm
+
+import (
+	"fmt"
+
+	"rpgo/internal/launch"
+	"rpgo/internal/model"
+	"rpgo/internal/platform"
+	"rpgo/internal/rng"
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+)
+
+// Controller is the machine-wide Slurm controller. All sruns in a session —
+// task launches and backend-instance bootstraps alike — share its ceiling.
+type Controller struct {
+	eng     *sim.Engine
+	params  model.SrunParams
+	ceiling *sim.Semaphore
+	// registrar serializes step creation through the central daemon.
+	registrar *sim.Server[*stepReq]
+	rand      *rng.Stream
+}
+
+type stepReq struct {
+	allocNodes int
+	stepNodes  int
+}
+
+// NewController returns a controller with the given parameters.
+func NewController(eng *sim.Engine, params model.SrunParams, src *rng.Source) *Controller {
+	c := &Controller{
+		eng:     eng,
+		params:  params,
+		ceiling: sim.NewSemaphore(eng, params.Ceiling),
+		rand:    src.Stream("slurm.controller"),
+	}
+	c.registrar = sim.NewServer(eng, 1, c.serviceTime, nil)
+	return c
+}
+
+// Params returns the controller's parameter set.
+func (c *Controller) Params() model.SrunParams { return c.params }
+
+func (c *Controller) serviceTime(r *stepReq) sim.Duration {
+	mu := c.params.Mu(r.allocNodes)
+	// Exponential service around the mean registration time models the
+	// controller's RPC and bookkeeping variability; multi-node MPI steps
+	// pay a co-scheduling surcharge.
+	mean := c.params.StepCost(r.stepNodes) / mu
+	return sim.Seconds(c.rand.Exp(mean))
+}
+
+// Ceiling exposes the srun concurrency semaphore (tests assert HighWater).
+func (c *Controller) Ceiling() *sim.Semaphore { return c.ceiling }
+
+// StartStep acquires an srun slot and registers a job step. allocNodes is
+// the size of the surrounding allocation (controller contention scales with
+// it); stepNodes is the size of the step being launched (multi-node steps
+// pay a co-scheduling surcharge). started fires when the srun process may
+// exec, receiving a release function the caller must invoke exactly once
+// when the srun exits.
+func (c *Controller) StartStep(allocNodes, stepNodes int, started func(release func())) {
+	c.ceiling.Acquire(1, func() {
+		released := false
+		release := func() {
+			if released {
+				panic("slurm: step released twice")
+			}
+			released = true
+			c.ceiling.Release(1)
+		}
+		c.registrar.SubmitFunc(&stepReq{allocNodes: allocNodes, stepNodes: stepNodes}, func(*stepReq) {
+			started(release)
+		})
+	})
+}
+
+// SrunLauncher launches tasks through srun within one resource partition.
+// It implements launch.Launcher. Placement is done by RP's scheduler logic
+// (the Placer); srun only starts the placed processes, gated by the
+// controller ceiling it holds for the whole task lifetime.
+type SrunLauncher struct {
+	name string
+	eng  *sim.Engine
+	ctrl *Controller
+	plc  *launch.Placer
+	util *platform.UtilizationTracker
+	rand *rng.Stream
+	// queue holds requests not yet placed.
+	queue []*launch.Request
+	stats launch.Stats
+	// rateMult is the per-run variability multiplier on prolog latency.
+	rateMult float64
+	drained  bool
+}
+
+// NewSrunLauncher returns a launcher over the partition. srun needs no
+// bootstrap: Ready fires immediately.
+func NewSrunLauncher(name string, eng *sim.Engine, ctrl *Controller, part *platform.Allocation,
+	util *platform.UtilizationTracker, src *rng.Source) *SrunLauncher {
+	s := &SrunLauncher{
+		name: name,
+		eng:  eng,
+		ctrl: ctrl,
+		plc:  launch.NewPlacer(part),
+		util: util,
+		rand: src.Stream("srun." + name),
+	}
+	s.rateMult = s.rand.LogNormal(1, ctrl.params.RunSigma)
+	return s
+}
+
+// Name implements launch.Launcher.
+func (s *SrunLauncher) Name() string { return s.name }
+
+// Backend implements launch.Launcher.
+func (s *SrunLauncher) Backend() spec.Backend { return spec.BackendSrun }
+
+// Nodes implements launch.Launcher.
+func (s *SrunLauncher) Nodes() int { return s.plc.Partition().Size() }
+
+// Ready implements launch.Launcher; srun has no bootstrap.
+func (s *SrunLauncher) Ready(fn func()) { s.eng.Immediately(func() { fn() }) }
+
+// BootstrapOverhead implements launch.Launcher.
+func (s *SrunLauncher) BootstrapOverhead() sim.Duration { return 0 }
+
+// Stats implements launch.Launcher.
+func (s *SrunLauncher) Stats() launch.Stats {
+	st := s.stats
+	st.QueueLen = len(s.queue)
+	return st
+}
+
+// Submit implements launch.Launcher.
+func (s *SrunLauncher) Submit(r *launch.Request) {
+	s.stats.Submitted++
+	if s.drained {
+		s.fail(r, "launcher drained")
+		return
+	}
+	if !s.plc.Fits(r.TD) {
+		s.fail(r, fmt.Sprintf("task %s cannot fit partition of %d nodes", r.UID, s.Nodes()))
+		return
+	}
+	s.queue = append(s.queue, r)
+	s.pump()
+}
+
+// Drain implements launch.Launcher.
+func (s *SrunLauncher) Drain(reason string) {
+	s.drained = true
+	q := s.queue
+	s.queue = nil
+	for _, r := range q {
+		s.fail(r, reason)
+	}
+}
+
+func (s *SrunLauncher) fail(r *launch.Request, reason string) {
+	s.stats.Failed++
+	at := s.eng.Now()
+	s.eng.Immediately(func() { r.OnComplete(at, true, reason) })
+}
+
+// pump places queued tasks FCFS and hands them to srun. Placement is
+// head-of-line blocking, like RP's default continuous scheduler.
+func (s *SrunLauncher) pump() {
+	for len(s.queue) > 0 {
+		r := s.queue[0]
+		pl := s.plc.Place(s.eng.Now(), r.TD)
+		if pl == nil {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.launch(r, pl)
+	}
+}
+
+func (s *SrunLauncher) launch(r *launch.Request, pl *platform.Placement) {
+	stepNodes := r.TD.Nodes
+	if stepNodes < 1 {
+		stepNodes = 1
+	}
+	s.ctrl.StartStep(s.Nodes(), stepNodes, func(release func()) {
+		prolog := s.ctrl.params.PrologMedian / s.rateMult
+		d := sim.Seconds(s.rand.LogNormal(prolog, s.ctrl.params.PrologSigma))
+		s.eng.After(d, func() {
+			s.run(r, pl, release)
+		})
+	})
+}
+
+func (s *SrunLauncher) run(r *launch.Request, pl *platform.Placement, release func()) {
+	now := s.eng.Now()
+	s.stats.Started++
+	if s.util != nil {
+		s.util.Add(now, pl.TotalCPU(), pl.TotalGPU())
+	}
+	r.OnStart(now)
+	s.eng.After(r.TD.Duration, func() {
+		end := s.eng.Now()
+		if s.util != nil {
+			s.util.Remove(end, pl.TotalCPU(), pl.TotalGPU())
+		}
+		s.plc.Partition().Release(end, pl)
+		release()
+		s.stats.Completed++
+		r.OnComplete(end, false, "")
+		s.pump()
+	})
+}

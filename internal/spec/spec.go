@@ -1,0 +1,238 @@
+// Package spec defines the descriptions users submit to RADICAL-Pilot:
+// tasks, pilots, services, and backend/partition configuration.
+package spec
+
+import (
+	"fmt"
+
+	"rpgo/internal/sim"
+)
+
+// TaskKind distinguishes the two task modalities the paper integrates:
+// standalone executables (compiled binaries, MPI applications) and Python
+// functions (ML and analytics workloads).
+type TaskKind int
+
+const (
+	// Executable is a standalone binary launched as a system process.
+	Executable TaskKind = iota
+	// Function is an in-process Python function dispatched to a worker.
+	Function
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case Executable:
+		return "executable"
+	case Function:
+		return "function"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(k))
+	}
+}
+
+// Backend selects the task runtime system that executes a task.
+type Backend int
+
+const (
+	// BackendAuto lets the agent route by task kind and policy.
+	BackendAuto Backend = iota
+	// BackendSrun launches through Slurm's srun.
+	BackendSrun
+	// BackendFlux launches through a Flux instance.
+	BackendFlux
+	// BackendDragon launches through a Dragon runtime.
+	BackendDragon
+	// BackendPRRTE launches through a PRRTE distributed virtual machine.
+	BackendPRRTE
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendSrun:
+		return "srun"
+	case BackendFlux:
+		return "flux"
+	case BackendDragon:
+		return "dragon"
+	case BackendPRRTE:
+		return "prrte"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Coupling classifies the coordination pattern of a task (paper §2): it
+// informs routing and is recorded in traces for analysis.
+type Coupling int
+
+const (
+	// LooselyCoupled tasks run independently (docking, inference).
+	LooselyCoupled Coupling = iota
+	// TightlyCoupled tasks need co-scheduled multi-node launch (MPI).
+	TightlyCoupled
+	// DataCoupled tasks communicate through shared memory or queues.
+	DataCoupled
+)
+
+func (c Coupling) String() string {
+	switch c {
+	case LooselyCoupled:
+		return "loose"
+	case TightlyCoupled:
+		return "tight"
+	case DataCoupled:
+		return "data"
+	default:
+		return fmt.Sprintf("Coupling(%d)", int(c))
+	}
+}
+
+// TaskDescription is what a user or workflow system submits.
+type TaskDescription struct {
+	// UID identifies the task; empty UIDs are assigned by the task
+	// manager.
+	UID string
+	// Kind is the task modality.
+	Kind TaskKind
+	// Coupling is the coordination pattern.
+	Coupling Coupling
+	// Nodes requests whole nodes (tightly coupled multi-node tasks).
+	// Zero means the task is packed by cores.
+	Nodes int
+	// CoresPerRank is CPU slots per rank; Ranks is the number of ranks.
+	// A plain single-core task is {CoresPerRank: 1, Ranks: 1}.
+	CoresPerRank int
+	Ranks        int
+	// GPUsPerRank is GPU slots per rank.
+	GPUsPerRank int
+	// Duration is the virtual execution time of the task body. Null
+	// workloads use zero; dummy workloads use the sleep duration.
+	Duration sim.Duration
+	// InputFiles / OutputFiles are counts of files to stage; staging cost
+	// is per file.
+	InputFiles  int
+	OutputFiles int
+	// Backend pins the task to a runtime system; BackendAuto routes by
+	// kind.
+	Backend Backend
+	// MaxRetries is how many times the agent resubmits the task after an
+	// infrastructure failure before marking it FAILED.
+	MaxRetries int
+	// Workflow and Stage tag campaign tasks for analytics.
+	Workflow string
+	Stage    string
+	// Service marks long-running service tasks managed by the service
+	// manager (started before the workload, stopped at teardown).
+	Service bool
+}
+
+// TotalCores returns the CPU slots the task occupies.
+func (t *TaskDescription) TotalCores() int {
+	ranks := t.Ranks
+	if ranks <= 0 {
+		ranks = 1
+	}
+	cpr := t.CoresPerRank
+	if cpr <= 0 {
+		cpr = 1
+	}
+	return ranks * cpr
+}
+
+// TotalGPUs returns the GPU slots the task occupies.
+func (t *TaskDescription) TotalGPUs() int {
+	ranks := t.Ranks
+	if ranks <= 0 {
+		ranks = 1
+	}
+	if t.GPUsPerRank <= 0 {
+		return 0
+	}
+	return ranks * t.GPUsPerRank
+}
+
+// MultiNode reports whether the task needs co-scheduled whole nodes.
+func (t *TaskDescription) MultiNode() bool { return t.Nodes > 1 }
+
+// Validate checks the description for inconsistencies.
+func (t *TaskDescription) Validate(slotsPerNode, gpusPerNode int) error {
+	if t.Ranks < 0 || t.CoresPerRank < 0 || t.GPUsPerRank < 0 || t.Nodes < 0 {
+		return fmt.Errorf("spec: negative resource request in task %q", t.UID)
+	}
+	if t.Duration < 0 {
+		return fmt.Errorf("spec: negative duration in task %q", t.UID)
+	}
+	if t.Nodes == 0 {
+		if t.TotalCores() > slotsPerNode {
+			return fmt.Errorf("spec: task %q needs %d cores on one node (max %d); set Nodes",
+				t.UID, t.TotalCores(), slotsPerNode)
+		}
+		if t.TotalGPUs() > gpusPerNode {
+			return fmt.Errorf("spec: task %q needs %d GPUs on one node (max %d); set Nodes",
+				t.UID, t.TotalGPUs(), gpusPerNode)
+		}
+	}
+	if t.Kind == Function && t.MultiNode() {
+		return fmt.Errorf("spec: function task %q cannot span nodes", t.UID)
+	}
+	return nil
+}
+
+// PartitionConfig configures one group of backend instances inside a pilot.
+type PartitionConfig struct {
+	// Backend is the runtime system type for these partitions.
+	Backend Backend
+	// Instances is how many concurrent instances to run.
+	Instances int
+	// NodesPerInstance fixes the partition size; zero divides the share
+	// evenly.
+	NodesPerInstance int
+	// NodeShare is the fraction of pilot nodes given to this backend
+	// group when several groups coexist (flux+dragon). Zero means split
+	// evenly among groups.
+	NodeShare float64
+}
+
+// PilotDescription requests a resource allocation and its runtime layout.
+type PilotDescription struct {
+	// UID identifies the pilot.
+	UID string
+	// Nodes is the allocation size in nodes.
+	Nodes int
+	// SMT is the hardware-thread level (1, 2 or 4); zero defaults to 1.
+	SMT int
+	// Runtime caps the pilot lifetime; zero means unlimited.
+	Runtime sim.Duration
+	// Partitions lays out backend instances. Empty defaults to a single
+	// srun executor over the whole allocation (RP's default executor).
+	Partitions []PartitionConfig
+}
+
+// Validate checks the pilot description.
+func (p *PilotDescription) Validate() error {
+	if p.Nodes <= 0 {
+		return fmt.Errorf("spec: pilot %q needs at least one node", p.UID)
+	}
+	switch p.SMT {
+	case 0, 1, 2, 4:
+	default:
+		return fmt.Errorf("spec: pilot %q has invalid SMT %d", p.UID, p.SMT)
+	}
+	total := 0
+	for i, pc := range p.Partitions {
+		if pc.Instances <= 0 {
+			return fmt.Errorf("spec: pilot %q partition %d has no instances", p.UID, i)
+		}
+		if pc.Backend == BackendAuto {
+			return fmt.Errorf("spec: pilot %q partition %d must pin a backend", p.UID, i)
+		}
+		total += pc.Instances * pc.NodesPerInstance
+	}
+	if total > p.Nodes {
+		return fmt.Errorf("spec: pilot %q partitions need %d nodes, allocation has %d", p.UID, total, p.Nodes)
+	}
+	return nil
+}

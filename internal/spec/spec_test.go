@@ -1,0 +1,95 @@
+package spec
+
+import (
+	"testing"
+
+	"rpgo/internal/sim"
+)
+
+func TestTotals(t *testing.T) {
+	td := TaskDescription{Ranks: 4, CoresPerRank: 7, GPUsPerRank: 2}
+	if td.TotalCores() != 28 || td.TotalGPUs() != 8 {
+		t.Fatalf("totals: %d cores, %d gpus", td.TotalCores(), td.TotalGPUs())
+	}
+	// Zero ranks/cores default to 1/1.
+	var zero TaskDescription
+	if zero.TotalCores() != 1 || zero.TotalGPUs() != 0 {
+		t.Fatalf("zero-value totals: %d cores %d gpus", zero.TotalCores(), zero.TotalGPUs())
+	}
+}
+
+func TestMultiNode(t *testing.T) {
+	if (&TaskDescription{Nodes: 1}).MultiNode() {
+		t.Error("1 node is not multi-node")
+	}
+	if !(&TaskDescription{Nodes: 2}).MultiNode() {
+		t.Error("2 nodes is multi-node")
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		td   TaskDescription
+		ok   bool
+	}{
+		{"simple", TaskDescription{CoresPerRank: 1, Ranks: 1}, true},
+		{"negative duration", TaskDescription{Duration: -sim.Second}, false},
+		{"negative cores", TaskDescription{CoresPerRank: -1}, false},
+		{"too many cores for one node", TaskDescription{Ranks: 57, CoresPerRank: 1}, false},
+		{"too many gpus for one node", TaskDescription{Ranks: 9, GPUsPerRank: 1}, false},
+		{"multi-node ok", TaskDescription{Nodes: 4, Ranks: 8, CoresPerRank: 7}, true},
+		{"multi-node function", TaskDescription{Kind: Function, Nodes: 2, Ranks: 2}, false},
+	}
+	for _, c := range cases {
+		err := c.td.Validate(56, 8)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestPilotValidation(t *testing.T) {
+	ok := PilotDescription{Nodes: 4}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default pilot: %v", err)
+	}
+	bad := []PilotDescription{
+		{Nodes: 0},
+		{Nodes: 4, SMT: 3},
+		{Nodes: 4, Partitions: []PartitionConfig{{Backend: BackendFlux, Instances: 0}}},
+		{Nodes: 4, Partitions: []PartitionConfig{{Backend: BackendAuto, Instances: 1}}},
+		{Nodes: 4, Partitions: []PartitionConfig{{Backend: BackendFlux, Instances: 2, NodesPerInstance: 3}}},
+	}
+	for i, pd := range bad {
+		if err := pd.Validate(); err == nil {
+			t.Errorf("bad pilot %d validated", i)
+		}
+	}
+	fixed := PilotDescription{Nodes: 8, Partitions: []PartitionConfig{
+		{Backend: BackendFlux, Instances: 2, NodesPerInstance: 2},
+		{Backend: BackendDragon, Instances: 4, NodesPerInstance: 1},
+	}}
+	if err := fixed.Validate(); err != nil {
+		t.Fatalf("fixed layout: %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Executable.String() != "executable" || Function.String() != "function" {
+		t.Error("TaskKind strings")
+	}
+	if BackendFlux.String() != "flux" || BackendDragon.String() != "dragon" ||
+		BackendSrun.String() != "srun" || BackendAuto.String() != "auto" {
+		t.Error("Backend strings")
+	}
+	if LooselyCoupled.String() != "loose" || TightlyCoupled.String() != "tight" || DataCoupled.String() != "data" {
+		t.Error("Coupling strings")
+	}
+	if TaskKind(9).String() == "" || Backend(9).String() == "" || Coupling(9).String() == "" {
+		t.Error("unknown value formatting")
+	}
+}

@@ -1,0 +1,131 @@
+package states
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskHappyPath(t *testing.T) {
+	path := []TaskState{
+		TaskNew, TaskTMGRSchedule, TaskAgentStagingIn, TaskAgentSchedule,
+		TaskAgentExecuting, TaskRunning, TaskAgentStagingOut, TaskDone,
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !CanTransition(path[i], path[i+1]) {
+			t.Errorf("happy path broken: %v -> %v", path[i], path[i+1])
+		}
+	}
+}
+
+func TestTaskShortcutRunningToDone(t *testing.T) {
+	// Tasks without output staging go straight RUNNING -> DONE.
+	if !CanTransition(TaskRunning, TaskDone) {
+		t.Error("RUNNING -> DONE must be legal")
+	}
+}
+
+func TestTaskFailureFromEveryNonFinalState(t *testing.T) {
+	for s := TaskNew; s <= TaskAgentStagingOut; s++ {
+		if s.Final() {
+			continue
+		}
+		if !CanTransition(s, TaskFailed) {
+			t.Errorf("%v -> FAILED must be legal", s)
+		}
+		if !CanTransition(s, TaskCanceled) {
+			t.Errorf("%v -> CANCELED must be legal", s)
+		}
+	}
+}
+
+func TestNoBackwardTransitions(t *testing.T) {
+	if CanTransition(TaskRunning, TaskAgentSchedule) {
+		t.Error("backward transition allowed")
+	}
+	if CanTransition(TaskDone, TaskRunning) {
+		t.Error("transition out of DONE allowed")
+	}
+}
+
+func TestNoSkippingExecution(t *testing.T) {
+	if CanTransition(TaskAgentSchedule, TaskDone) {
+		t.Error("AGENT_SCHEDULING -> DONE skips execution")
+	}
+	if CanTransition(TaskAgentExecuting, TaskDone) {
+		t.Error("AGENT_EXECUTING -> DONE skips RUNNING")
+	}
+}
+
+func TestValidatePanicsOnIllegal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Validate should panic on illegal transition")
+		}
+	}()
+	Validate(TaskDone, TaskRunning)
+}
+
+func TestFinalStates(t *testing.T) {
+	finals := []TaskState{TaskDone, TaskFailed, TaskCanceled}
+	for _, s := range finals {
+		if !s.Final() {
+			t.Errorf("%v should be final", s)
+		}
+	}
+	if TaskRunning.Final() {
+		t.Error("RUNNING is not final")
+	}
+}
+
+// Property: final states have no outgoing edges at all.
+func TestFinalStatesAreAbsorbing(t *testing.T) {
+	f := func(fromRaw, toRaw uint8) bool {
+		from := TaskState(fromRaw % 10)
+		to := TaskState(toRaw % 10)
+		if from.Final() && CanTransition(from, to) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskStateStrings(t *testing.T) {
+	if TaskNew.String() != "NEW" || TaskRunning.String() != "RUNNING" {
+		t.Error("canonical state names wrong")
+	}
+	if TaskState(99).String() != "TaskState(99)" {
+		t.Error("unknown state formatting")
+	}
+}
+
+func TestPilotLifecycle(t *testing.T) {
+	if !CanTransitionPilot(PilotNew, PilotLaunching) ||
+		!CanTransitionPilot(PilotLaunching, PilotActive) ||
+		!CanTransitionPilot(PilotActive, PilotDone) {
+		t.Error("pilot happy path broken")
+	}
+	if CanTransitionPilot(PilotDone, PilotActive) {
+		t.Error("pilot transition out of final state")
+	}
+	if !CanTransitionPilot(PilotActive, PilotCanceled) {
+		t.Error("active pilot must be cancelable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ValidatePilot should panic on illegal transition")
+		}
+	}()
+	ValidatePilot(PilotDone, PilotNew)
+}
+
+func TestPilotStateStrings(t *testing.T) {
+	if PilotActive.String() != "PMGR_ACTIVE" {
+		t.Errorf("PilotActive = %q", PilotActive.String())
+	}
+	if !PilotFailed.Final() || PilotActive.Final() {
+		t.Error("pilot finality wrong")
+	}
+}

@@ -1,0 +1,111 @@
+// Package rp is the public API of rpgo: a Go reproduction of
+// RADICAL-Pilot integrated with Flux and Dragon task runtime systems, as
+// characterized in "Integrating and Characterizing HPC Task Runtime Systems
+// for hybrid AI-HPC workloads" (SC Workshops '25).
+//
+// The API mirrors RADICAL-Pilot's Python API: create a Session, submit a
+// PilotDescription to get a Pilot (a resource placeholder with an Agent on
+// it), then submit TaskDescriptions through a TaskManager. The pilot's
+// agent routes every task to the backend that matches its execution model:
+// executables to Flux (or srun), Python functions to Dragon.
+//
+// Everything executes on a deterministic discrete-event simulation of a
+// Frontier-like platform; see DESIGN.md for the substitution rationale and
+// the calibration of the backend models.
+//
+// A minimal program:
+//
+//	sess := rp.NewSession(rp.Config{Seed: 1})
+//	pilot, err := sess.SubmitPilot(rp.PilotDescription{
+//		Nodes: 4,
+//		Partitions: []rp.PartitionConfig{
+//			{Backend: rp.BackendFlux, Instances: 2},
+//		},
+//	})
+//	// handle err
+//	tm := sess.TaskManager(pilot)
+//	tm.Submit([]*rp.TaskDescription{{
+//		Kind: rp.Executable, CoresPerRank: 1, Ranks: 1,
+//		Duration: 180 * rp.Second,
+//	}})
+//	err = tm.Wait()
+package rp
+
+import (
+	"rpgo/internal/agent"
+	"rpgo/internal/core"
+	"rpgo/internal/model"
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+)
+
+// Session owns the virtual machine, the Slurm controller, and all pilots.
+type Session = core.Session
+
+// Config configures a Session.
+type Config = core.Config
+
+// Pilot is an active resource allocation with an RP agent on it.
+type Pilot = core.Pilot
+
+// TaskManager submits tasks to a pilot and tracks completion.
+type TaskManager = core.TaskManager
+
+// Task is the runtime record of one submitted task.
+type Task = agent.Task
+
+// TaskDescription describes one unit of work.
+type TaskDescription = spec.TaskDescription
+
+// PilotDescription describes a resource request and its backend layout.
+type PilotDescription = spec.PilotDescription
+
+// PartitionConfig lays out one backend group inside a pilot.
+type PartitionConfig = spec.PartitionConfig
+
+// Params bundles the calibrated model constants (see internal/model).
+type Params = model.Params
+
+// Task modalities.
+const (
+	Executable = spec.Executable
+	Function   = spec.Function
+)
+
+// Backend selectors.
+const (
+	BackendAuto   = spec.BackendAuto
+	BackendSrun   = spec.BackendSrun
+	BackendFlux   = spec.BackendFlux
+	BackendDragon = spec.BackendDragon
+)
+
+// Coupling patterns.
+const (
+	LooselyCoupled = spec.LooselyCoupled
+	TightlyCoupled = spec.TightlyCoupled
+	DataCoupled    = spec.DataCoupled
+)
+
+// Time and Duration re-export the virtual clock types.
+type Time = sim.Time
+
+// Duration is a span of virtual time.
+type Duration = sim.Duration
+
+// Common durations.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// Seconds converts float seconds to a Duration.
+func Seconds(s float64) Duration { return sim.Seconds(s) }
+
+// NewSession creates a session; see core.NewSession.
+func NewSession(cfg Config) *Session { return core.NewSession(cfg) }
+
+// DefaultParams returns the calibrated model parameter set.
+func DefaultParams() Params { return model.Default() }

@@ -1,0 +1,64 @@
+package rp_test
+
+import (
+	"testing"
+
+	"rpgo/rp"
+)
+
+// TestPublicAPISurface exercises the facade exactly as the README's
+// quickstart does.
+func TestPublicAPISurface(t *testing.T) {
+	sess := rp.NewSession(rp.Config{Seed: 42})
+	pilot, err := sess.SubmitPilot(rp.PilotDescription{
+		Nodes: 4,
+		Partitions: []rp.PartitionConfig{
+			{Backend: rp.BackendFlux, Instances: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]*rp.TaskDescription, 100)
+	for i := range tasks {
+		tasks[i] = &rp.TaskDescription{
+			Kind: rp.Executable, CoresPerRank: 1, Ranks: 1,
+			Duration: 30 * rp.Second,
+		}
+	}
+	tm := sess.TaskManager(pilot)
+	submitted := tm.Submit(tasks)
+	if len(submitted) != 100 {
+		t.Fatalf("submitted %d", len(submitted))
+	}
+	if err := tm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range sess.Profiler.Tasks() {
+		if !tr.Ran() || tr.Failed {
+			t.Fatalf("task %s: ran=%v failed=%v", tr.UID, tr.Ran(), tr.Failed)
+		}
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if rp.Seconds(1.5) != 1500*rp.Millisecond {
+		t.Fatal("Seconds conversion")
+	}
+	if rp.Minute != 60*rp.Second || rp.Hour != 60*rp.Minute {
+		t.Fatal("duration constants")
+	}
+}
+
+func TestDefaultParamsExposed(t *testing.T) {
+	p := rp.DefaultParams()
+	if p.Srun.Ceiling != 112 {
+		t.Fatalf("ceiling = %d", p.Srun.Ceiling)
+	}
+	// Custom params flow through the session.
+	p.Srun.Ceiling = 10
+	sess := rp.NewSession(rp.Config{Seed: 1, Params: &p})
+	if sess.Controller.Ceiling().Capacity() != 10 {
+		t.Fatal("custom params not applied")
+	}
+}
