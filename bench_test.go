@@ -183,6 +183,36 @@ func BenchmarkHeadlineClaims(b *testing.B) {
 	b.ReportMetric(fluxNMax, "fluxn_max_tasks/s")
 }
 
+// --- Inference-service subsystem (DESIGN.md §3) ---
+
+// BenchmarkServiceSweepCell runs one cell of the request-rate × replica
+// characterization: p95 request latency of a 2-replica endpoint under a
+// 40 req/s open-loop Poisson client.
+func BenchmarkServiceSweepCell(b *testing.B) {
+	var p95, occ float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunServiceSweep(experiments.ServiceSweepConfig{
+			Nodes: 2, Rates: []float64{40}, Replicas: []int{2},
+			Duration: 30 * sim.Second, Seed: uint64(i + 1),
+		})
+		p95 = res.Cells[0].Latency.P95
+		occ = res.Cells[0].Occupancy
+	}
+	b.ReportMetric(p95, "p95_s")
+	b.ReportMetric(occ, "batch_occupancy")
+}
+
+// BenchmarkServiceAutoscale measures the burst response of the
+// autoscaled endpoint (peak replicas reached, requests served).
+func BenchmarkServiceAutoscale(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAutoscaleDemo(2, 10, uint64(i+1))
+		peak = float64(res.PeakReplicas)
+	}
+	b.ReportMetric(peak, "peak_replicas")
+}
+
 // --- Ablations: the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationNoCeiling removes Frontier's 112-srun cap: utilization

@@ -3,6 +3,15 @@
 // (ML inference) tasks route to Dragon partitions — the paper's
 // flux+dragon configuration (§4.1.5).
 //
+// The ML side runs through two couplings side by side:
+//
+//   - task path (the original): each inference is a fire-and-forget
+//     function task dispatched to Dragon, paying scheduling and spawn
+//     overhead per call;
+//   - service path: simulations couple to a persistent inference
+//     endpoint deployed on the Dragon partition and block on batched
+//     request/response, the RHAPSODY-style motif.
+//
 // Run with: go run ./examples/hybrid
 package main
 
@@ -30,22 +39,55 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A mixed workload: MPI-style simulation executables plus bursts of
-	// lightweight inference functions, interleaved.
+	// A persistent ML endpoint for the service path: two GPU replicas,
+	// autoscaling to six, batching up to 8 requests.
+	svc, err := pilot.DeployService(rp.ServiceDescription{
+		Name:           "ml",
+		Replicas:       2,
+		MinReplicas:    2,
+		MaxReplicas:    6,
+		GPUsPerReplica: 1,
+		StartupDelay:   6 * rp.Second,
+		BaseLatency:    90 * rp.Millisecond,
+		PerItemLatency: 15 * rp.Millisecond,
+		LatencySigma:   0.2,
+		BatchWindow:    20 * rp.Millisecond,
+		MaxBatch:       8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A mixed workload. Old path: physics executables plus standalone
+	// inference function tasks. Service path: physics executables that
+	// call the ml endpoint twice mid-run and block on the responses.
 	var tasks []*rp.TaskDescription
-	for i := 0; i < 400; i++ {
+	for i := 0; i < 200; i++ {
 		tasks = append(tasks,
 			&rp.TaskDescription{ // physics executable (2 cores)
 				Kind:         rp.Executable,
 				Coupling:     rp.LooselyCoupled,
 				CoresPerRank: 2, Ranks: 1,
 				Duration: 120 * rp.Second,
+				Workflow: "task-path",
 			},
 			&rp.TaskDescription{ // ML inference function (1 core, 1 GPU)
 				Kind:         rp.Function,
 				Coupling:     rp.DataCoupled,
 				CoresPerRank: 1, Ranks: 1, GPUsPerRank: 1,
 				Duration: 60 * rp.Second,
+				Workflow: "task-path",
+			},
+			&rp.TaskDescription{ // physics coupled to the ml endpoint
+				Kind:         rp.Executable,
+				Coupling:     rp.DataCoupled,
+				CoresPerRank: 2, Ranks: 1,
+				Duration: 120 * rp.Second,
+				Requests: []rp.ServiceCall{
+					{Service: "ml", Count: 2, Phase: 0.5},
+					{Service: "ml", Count: 2, Phase: 1.0},
+				},
+				Workflow: "service-path",
 			})
 	}
 
@@ -75,4 +117,27 @@ func main() {
 		fmt.Printf("%-10s nodes=%d bootstrap=%5.1fs started=%d\n",
 			l.Name(), l.Nodes(), l.BootstrapOverhead().Seconds(), st.Started)
 	}
+
+	// The two ML couplings side by side: per-inference latency of the
+	// fire-and-forget function tasks (submit→done, including scheduling
+	// and spawn) vs. the endpoint's request latency percentiles.
+	var fnLat []rp.Duration
+	var coupledWait rp.Duration
+	coupledTasks := 0
+	for _, tr := range sess.Profiler.Tasks() {
+		switch {
+		case tr.Workflow == "task-path" && strings.HasPrefix(tr.Backend, "dragon") && tr.Ran():
+			fnLat = append(fnLat, tr.Final.Sub(tr.Submit)-60*rp.Second)
+		case tr.Workflow == "service-path" && tr.Ran():
+			coupledWait += tr.ServiceWait
+			coupledTasks++
+		}
+	}
+	st := svc.Stats()
+	fmt.Printf("\nML coupling comparison (%d function tasks vs %d service requests):\n",
+		len(fnLat), st.Served)
+	fmt.Printf("  task path:    per-inference overhead %s\n", rp.SummarizeLatencies(fnLat))
+	fmt.Printf("  service path: request latency        %s\n", st.Latency)
+	fmt.Printf("  service path: batch occupancy %.0f%%, peak replicas %d, mean block %.2fs/task\n",
+		st.Occupancy*100, st.PeakReplicas, coupledWait.Seconds()/float64(coupledTasks))
 }

@@ -1,0 +1,3 @@
+module rpgo
+
+go 1.24

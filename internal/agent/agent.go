@@ -40,6 +40,21 @@ type Task struct {
 	attempts int
 	// done is invoked exactly once when the task reaches a final state.
 	done func(*Task)
+	// body, when set, overrides the fixed-Duration process body at
+	// launch (service replicas run until stopped; coupled tasks block on
+	// inference responses). Tasks with TD.Requests get a coupled body
+	// built by the agent.
+	body func(start sim.Time, done func())
+	// gen counts dispatch attempts; a coupled body captures it so that
+	// after a mid-run crash and retry, the orphaned old body stops
+	// instead of issuing phantom requests alongside the new attempt.
+	gen int
+	// serviceRegistered marks tasks counted in servicesPending (set by
+	// submitService); serviceStarted dedupes noteServiceStart across
+	// retries. Together they keep the pending accounting balanced: only
+	// a registered, not-yet-started service may decrement on failure.
+	serviceRegistered bool
+	serviceStarted    bool
 }
 
 // transition validates and applies a state change, timestamping the trace.
@@ -76,6 +91,8 @@ type Agent struct {
 	services        []*Task
 	servicesPending int
 	serviceWaiters  []func()
+	// sm manages deployed inference-service endpoints (lazily created).
+	sm *ServiceManager
 
 	// Counters.
 	nSubmitted int
@@ -402,15 +419,22 @@ func (a *Agent) forward(g *executorGroup, t *Task) {
 	g.inflight[idx]++
 	t.Trace.Launch = a.eng.Now()
 	t.Trace.Backend = l.Name()
+	t.gen++
+	body := t.body
+	if body == nil && len(t.TD.Requests) > 0 {
+		body = a.coupledBody(t)
+	}
 	l.Submit(&launch.Request{
-		UID: t.TD.UID,
-		TD:  t.TD,
+		UID:  t.TD.UID,
+		TD:   t.TD,
+		Body: body,
 		OnStart: func(at sim.Time) {
 			a.transition(t, states.TaskRunning)
 			t.Trace.Start = at
 			t.Trace.Cores = t.TD.TotalCores()
 			t.Trace.GPUs = t.TD.TotalGPUs()
-			if t.TD.Service {
+			if t.TD.Service && !t.serviceStarted {
+				t.serviceStarted = true
 				a.noteServiceStart()
 			}
 		},
@@ -444,6 +468,10 @@ func (a *Agent) pickLauncher(g *executorGroup, t *Task) int {
 // otherwise stage out and finalize.
 func (a *Agent) completed(g *executorGroup, t *Task, at sim.Time, failed bool, reason string) {
 	if failed {
+		// Invalidate the attempt's process body immediately: a crashed
+		// coupled task must stop issuing inference requests during the
+		// retry backoff — and permanently if retries are exhausted.
+		t.gen++
 		if t.attempts < t.TD.MaxRetries && !a.draining {
 			t.attempts++
 			t.Trace.Retries = t.attempts
@@ -478,6 +506,13 @@ func (a *Agent) stagedOut(t *Task) {
 func (a *Agent) finish(t *Task, st states.TaskState, reason string) {
 	if t.State.Final() {
 		return
+	}
+	t.gen++ // no process body may outlive a final state
+	if t.serviceRegistered && !t.serviceStarted {
+		// A service that dies before ever starting will never report a
+		// start; resolve it here so WaitServices cannot hang on it.
+		t.serviceStarted = true
+		a.noteServiceStart()
 	}
 	if st == states.TaskFailed {
 		t.Trace.Failed = true
@@ -517,6 +552,7 @@ func (a *Agent) instanceDown(g *executorGroup, idx int, reason string) {
 // gate on WaitServices.
 func (a *Agent) submitService(t *Task) {
 	a.services = append(a.services, t)
+	t.serviceRegistered = true
 	a.servicesPending++
 	a.transition(t, states.TaskAgentStagingIn)
 	a.transition(t, states.TaskAgentSchedule)
@@ -546,8 +582,13 @@ func (a *Agent) noteServiceStart() {
 }
 
 // Drain stops intake and drains all backend queues; queued tasks fail.
+// Deployed service endpoints close: queued requests still serve, and
+// replicas stop as they go idle.
 func (a *Agent) Drain(reason string) {
 	a.draining = true
+	if a.sm != nil {
+		a.sm.CloseAll()
+	}
 	for _, g := range a.groups {
 		for _, t := range g.pending {
 			a.finish(t, states.TaskFailed, reason)

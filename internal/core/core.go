@@ -15,6 +15,7 @@ import (
 	"rpgo/internal/platform"
 	"rpgo/internal/profiler"
 	"rpgo/internal/rng"
+	"rpgo/internal/service"
 	"rpgo/internal/sim"
 	"rpgo/internal/slurm"
 	"rpgo/internal/spec"
@@ -156,6 +157,53 @@ func (p *Pilot) BootstrapOverhead() sim.Duration {
 	return p.ActiveAt.Sub(p.SubmittedAt)
 }
 
+// ServiceHandle is the client-side handle of a deployed inference service
+// (the service counterpart of a Task): it exposes readiness, request
+// submission for external clients, statistics, and teardown.
+type ServiceHandle struct {
+	sess *Session
+	ep   *service.Endpoint
+}
+
+// DeployService brings up a persistent inference service on the pilot.
+// Replicas run as service tasks on the pilot's partitions; tasks couple to
+// the endpoint by listing its Name in their Requests.
+func (p *Pilot) DeployService(sd spec.ServiceDescription) (*ServiceHandle, error) {
+	ep, err := p.Agent.Services().Deploy(sd)
+	if err != nil {
+		return nil, err
+	}
+	return &ServiceHandle{sess: p.sess, ep: ep}, nil
+}
+
+// Name returns the endpoint name tasks address in ServiceCall.Service.
+func (h *ServiceHandle) Name() string { return h.ep.Name() }
+
+// Endpoint exposes the underlying endpoint (timelines, queue state).
+func (h *ServiceHandle) Endpoint() *service.Endpoint { return h.ep }
+
+// Ready registers fn to fire once the service can serve requests.
+func (h *ServiceHandle) Ready(fn func()) { h.ep.Ready(fn) }
+
+// Call issues one request from an external client (outside any task);
+// done fires with the response.
+func (h *ServiceHandle) Call(done func(at sim.Time, failed bool)) string {
+	return h.ep.Submit("", done)
+}
+
+// Stats summarizes served requests, latency percentiles, batching and
+// autoscaling behaviour so far.
+func (h *ServiceHandle) Stats() service.Stats { return h.ep.Stats() }
+
+// Requests returns the endpoint's completed request traces.
+func (h *ServiceHandle) Requests() []profiler.RequestTrace {
+	return h.sess.Profiler.RequestsFor(h.ep.Name())
+}
+
+// Close drains the service: queued requests still serve, then replicas
+// stop and release their slots.
+func (h *ServiceHandle) Close() { h.ep.Close() }
+
 // TaskManager submits tasks to one pilot and tracks their completion.
 type TaskManager struct {
 	sess  *Session
@@ -192,6 +240,7 @@ func (tm *TaskManager) Submit(tds []*spec.TaskDescription) []*agent.Task {
 		tm.sess.taskSeq++
 		tr := tm.sess.Profiler.Task(td.UID)
 		tr.Submit = tm.sess.Engine.Now()
+		tr.Workflow = td.Workflow
 		t := &agent.Task{TD: td, State: states.TaskNew, Trace: tr}
 		// Client-side acceptance, then the ZeroMQ hop to the agent.
 		states.Validate(t.State, states.TaskTMGRSchedule)

@@ -311,7 +311,7 @@ func (d *Runtime) dispatched(dp *dispatch) {
 			d.util.Add(now, dp.pl.TotalCPU(), dp.pl.TotalGPU())
 		}
 		dp.r.OnStart(now)
-		d.eng.After(dp.r.TD.Duration, func() {
+		dp.r.StartBody(d.eng, func() {
 			if _, ok := d.running[dp.r]; !ok {
 				return // killed by crash
 			}

@@ -346,7 +346,7 @@ func (in *Instance) launch(r *launch.Request, pl *platform.Placement) {
 			in.util.Add(now, pl.TotalCPU(), pl.TotalGPU())
 		}
 		r.OnStart(now)
-		in.eng.After(r.TD.Duration, func() {
+		r.StartBody(in.eng, func() {
 			if _, ok := in.running[r]; !ok {
 				return // killed by crash
 			}

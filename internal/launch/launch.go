@@ -22,6 +22,34 @@ type Request struct {
 	// OnComplete fires when the task finishes; failed marks
 	// infrastructure failures (the task may be retried by the agent).
 	OnComplete func(at sim.Time, failed bool, reason string)
+	// Body, when set, replaces the fixed TD.Duration sleep as the task's
+	// process body: the backend invokes it once the process starts, and
+	// the task completes when the body calls done. Tasks whose wall time
+	// is not known at launch — service replicas that run until stopped,
+	// and coupled tasks that block on inference responses mid-run — use
+	// it; plain tasks leave it nil.
+	Body func(start sim.Time, done func())
+}
+
+// StartBody runs the task's process body at the current time: Body when
+// set, otherwise a TD.Duration sleep. done is invoked exactly once when
+// the body ends, even if a buggy body calls it repeatedly.
+func (r *Request) StartBody(eng *sim.Engine, done func()) {
+	if r.Body == nil {
+		eng.After(r.TD.Duration, done)
+		return
+	}
+	called := false
+	r.Body(eng.Now(), func() {
+		if called {
+			return
+		}
+		called = true
+		// Completion is always its own engine event, exactly like the
+		// After(Duration) path, so body implementations cannot perturb
+		// event ordering by calling done synchronously.
+		eng.Immediately(done)
+	})
 }
 
 // Stats captures backend counters for analytics.

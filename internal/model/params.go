@@ -190,12 +190,26 @@ type RPParams struct {
 	RetryBackoff float64
 }
 
+// Service holds the inference-service subsystem parameters (the
+// middleware-side constants; per-model latency shapes live in each
+// ServiceDescription).
+type ServiceParams struct {
+	// RPCLatency is the client→endpoint request hop: tasks and replicas
+	// share the allocation, so this is a node-local queue transfer of
+	// the same order as Dragon's shmem hop.
+	RPCLatency float64
+	// DispatchOverhead is the per-batch scheduling cost on a replica
+	// (tokenizer/queue-pop/tensor-assembly before the model runs).
+	DispatchOverhead float64
+}
+
 // Params bundles all model constants.
 type Params struct {
-	Srun   SrunParams
-	Flux   FluxParams
-	Dragon DragonParams
-	RP     RPParams
+	Srun    SrunParams
+	Flux    FluxParams
+	Dragon  DragonParams
+	RP      RPParams
+	Service ServiceParams
 }
 
 // Default returns the calibrated parameter set. EXPERIMENTS.md records the
@@ -247,6 +261,10 @@ func Default() Params {
 			ExecutorSubmitOverhead: 0.0012,
 			StagePerFile:           0.001,
 			RetryBackoff:           1.0,
+		},
+		Service: ServiceParams{
+			RPCLatency:       0.0005,
+			DispatchOverhead: 0.0008,
 		},
 	}
 }

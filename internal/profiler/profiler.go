@@ -34,11 +34,19 @@ type TaskTrace struct {
 	Failed bool
 	// Backend records which runtime system executed the task.
 	Backend string
+	// Workflow carries the task's campaign tag for analytics.
+	Workflow string
 	// Cores and GPUs are the slots the task occupied while running.
 	Cores int
 	GPUs  int
 	// Retries counts executor-level resubmissions.
 	Retries int
+	// ServiceRequests counts inference requests the task issued;
+	// ServiceFailed counts the ones that errored. ServiceWait is the
+	// total wall time the task body spent blocked on responses.
+	ServiceRequests int
+	ServiceFailed   int
+	ServiceWait     sim.Duration
 }
 
 const unset = sim.Time(-1)
@@ -59,6 +67,36 @@ func NewTaskTrace(uid string) *TaskTrace {
 // Ran reports whether the task has both start and end timestamps.
 func (t *TaskTrace) Ran() bool { return t.Start >= 0 && t.End >= 0 }
 
+// RequestTrace is the compact per-inference-request record, the
+// request-level counterpart of TaskTrace: issue → batch dispatch →
+// response. Traces are appended in completion order, which is
+// deterministic for a fixed seed.
+type RequestTrace struct {
+	// UID identifies the request (e.g. "llm.req.000042").
+	UID string
+	// Service is the endpoint name; Replica the serving replica UID.
+	Service string
+	Replica string
+	// Task is the issuing task's UID, empty for external clients.
+	Task string
+	// Issued is when the request entered the endpoint queue; Dispatched
+	// when its batch started service; Done when the response returned.
+	Issued     sim.Time
+	Dispatched sim.Time
+	Done       sim.Time
+	// Batch is the size of the batch that served the request.
+	Batch int
+	// Failed marks requests that errored (endpoint closed, replica lost
+	// beyond recovery).
+	Failed bool
+}
+
+// Latency returns issue→response, the client-observed request latency.
+func (r *RequestTrace) Latency() sim.Duration { return r.Done.Sub(r.Issued) }
+
+// QueueWait returns issue→dispatch, the time spent queued and batching.
+func (r *RequestTrace) QueueWait() sim.Duration { return r.Dispatched.Sub(r.Issued) }
+
 // Event is one record in the full event log.
 type Event struct {
 	Time   sim.Time
@@ -76,6 +114,8 @@ type Profiler struct {
 	// collected.
 	RecordEvents bool
 	events       []Event
+
+	requests []RequestTrace
 }
 
 // New returns an empty profiler.
@@ -99,6 +139,25 @@ func (p *Profiler) Tasks() []*TaskTrace { return p.order }
 
 // NumTasks returns the number of traced tasks.
 func (p *Profiler) NumTasks() int { return len(p.order) }
+
+// Request appends one completed inference-request trace.
+func (p *Profiler) Request(rt RequestTrace) {
+	p.requests = append(p.requests, rt)
+}
+
+// Requests returns all request traces in completion order.
+func (p *Profiler) Requests() []RequestTrace { return p.requests }
+
+// RequestsFor returns the request traces against one service endpoint.
+func (p *Profiler) RequestsFor(service string) []RequestTrace {
+	var out []RequestTrace
+	for _, r := range p.requests {
+		if r.Service == service {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // Log appends an event to the full log when enabled.
 func (p *Profiler) Log(at sim.Time, entity, name, info string) {

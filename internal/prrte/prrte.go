@@ -273,7 +273,7 @@ func (d *DVM) launched(l *dvmLaunch) {
 			d.util.Add(now, l.pl.TotalCPU(), l.pl.TotalGPU())
 		}
 		l.r.OnStart(now)
-		d.eng.After(l.r.TD.Duration, func() {
+		l.r.StartBody(d.eng, func() {
 			if _, ok := d.running[l.r]; !ok {
 				return
 			}

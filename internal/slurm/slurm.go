@@ -214,7 +214,7 @@ func (s *SrunLauncher) run(r *launch.Request, pl *platform.Placement, release fu
 		s.util.Add(now, pl.TotalCPU(), pl.TotalGPU())
 	}
 	r.OnStart(now)
-	s.eng.After(r.TD.Duration, func() {
+	r.StartBody(s.eng, func() {
 		end := s.eng.Now()
 		if s.util != nil {
 			s.util.Remove(end, pl.TotalCPU(), pl.TotalGPU())

@@ -1,0 +1,198 @@
+package spec
+
+// This file defines the inference-service descriptions of the hybrid
+// AI-HPC execution modality: persistent model-serving endpoints deployed
+// inside a pilot (RHAPSODY-style), and the request coupling that lets HPC
+// tasks block on inference responses mid-run.
+
+import (
+	"fmt"
+
+	"rpgo/internal/sim"
+)
+
+// ServiceCall couples a task to a deployed inference service: at the given
+// phase of its compute body the task issues Count concurrent requests to
+// the named endpoint and blocks until every response arrives, then resumes
+// computing. A task may declare several calls at increasing phases
+// (e.g. inference-guided simulation steering).
+type ServiceCall struct {
+	// Service names the endpoint (ServiceDescription.Name).
+	Service string
+	// Count is the number of requests issued concurrently; zero means 1.
+	Count int
+	// Phase is the fraction of the task's compute Duration completed
+	// before the call is issued, in [0,1]. Zero issues at task start.
+	Phase float64
+}
+
+// Requests returns the effective request count.
+func (c ServiceCall) NumRequests() int {
+	if c.Count <= 0 {
+		return 1
+	}
+	return c.Count
+}
+
+// Validate checks one service call.
+func (c ServiceCall) Validate() error {
+	if c.Service == "" {
+		return fmt.Errorf("spec: service call without a service name")
+	}
+	if c.Count < 0 {
+		return fmt.Errorf("spec: service call to %q with negative count", c.Service)
+	}
+	if c.Phase < 0 || c.Phase > 1 {
+		return fmt.Errorf("spec: service call to %q with phase %v outside [0,1]", c.Service, c.Phase)
+	}
+	return nil
+}
+
+// ServiceDescription describes a persistent inference service: a set of
+// model replicas deployed onto a pilot's partitions, fronted by a shared
+// request queue with dynamic batching and an optional load-based
+// autoscaler.
+type ServiceDescription struct {
+	// UID identifies the deployment; empty UIDs are assigned by the
+	// service manager.
+	UID string
+	// Name is the endpoint name tasks address in ServiceCall.Service.
+	Name string
+	// Replicas is the initial replica count.
+	Replicas int
+	// CoresPerReplica / GPUsPerReplica size one replica's slot footprint
+	// on its partition. CoresPerReplica zero means 1.
+	CoresPerReplica int
+	GPUsPerReplica  int
+	// Backend pins replicas to a partition backend; BackendAuto routes
+	// them like function tasks (Dragon preferred).
+	Backend Backend
+	// StartupDelay models weight loading and warmup between the replica
+	// process starting and the replica accepting requests.
+	StartupDelay sim.Duration
+
+	// BaseLatency is the service time of a batch of one request;
+	// PerItemLatency is the marginal cost of each additional request in
+	// the batch. PerItem < Base expresses the batching speedup of modern
+	// serving engines: a batch of n costs Base + (n-1)·PerItem, well
+	// under n·Base.
+	BaseLatency    sim.Duration
+	PerItemLatency sim.Duration
+	// LatencySigma is the lognormal jitter of batch service times.
+	LatencySigma float64
+
+	// BatchWindow is how long the endpoint holds an under-full batch
+	// open waiting for more requests; MaxBatch caps batch size (zero
+	// means 1, i.e. no batching).
+	BatchWindow sim.Duration
+	MaxBatch    int
+
+	// MaxReplicas enables the autoscaler when positive: replicas grow up
+	// to MaxReplicas under load and shrink to MinReplicas (floor 1) when
+	// idle. Zero keeps the replica count fixed.
+	MinReplicas int
+	MaxReplicas int
+	// TargetQueuePerReplica is the queue-depth-per-replica threshold
+	// that triggers scale-up; zero defaults to 4.
+	TargetQueuePerReplica float64
+	// ScaleCooldown is the minimum spacing between scaling actions in
+	// the same direction; zero defaults to 30 s.
+	ScaleCooldown sim.Duration
+}
+
+// CoresEach returns the per-replica core footprint (minimum 1).
+func (sd *ServiceDescription) CoresEach() int {
+	if sd.CoresPerReplica <= 0 {
+		return 1
+	}
+	return sd.CoresPerReplica
+}
+
+// BatchCap returns the effective maximum batch size (minimum 1).
+func (sd *ServiceDescription) BatchCap() int {
+	if sd.MaxBatch <= 0 {
+		return 1
+	}
+	return sd.MaxBatch
+}
+
+// BatchLatency returns the modelled service time of a batch of n requests
+// before jitter.
+func (sd *ServiceDescription) BatchLatency(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return sd.BaseLatency + sim.Duration(n-1)*sd.PerItemLatency
+}
+
+// Autoscaled reports whether the autoscaler is enabled.
+func (sd *ServiceDescription) Autoscaled() bool { return sd.MaxReplicas > 0 }
+
+// FloorReplicas returns the scale-down floor.
+func (sd *ServiceDescription) FloorReplicas() int {
+	if sd.MinReplicas <= 0 {
+		return 1
+	}
+	return sd.MinReplicas
+}
+
+// CeilReplicas returns the scale-up ceiling (the fixed count when the
+// autoscaler is off).
+func (sd *ServiceDescription) CeilReplicas() int {
+	if !sd.Autoscaled() {
+		return sd.Replicas
+	}
+	return sd.MaxReplicas
+}
+
+// TargetQueue returns the effective scale-up threshold.
+func (sd *ServiceDescription) TargetQueue() float64 {
+	if sd.TargetQueuePerReplica <= 0 {
+		return 4
+	}
+	return sd.TargetQueuePerReplica
+}
+
+// Cooldown returns the effective scaling cooldown.
+func (sd *ServiceDescription) Cooldown() sim.Duration {
+	if sd.ScaleCooldown <= 0 {
+		return 30 * sim.Second
+	}
+	return sd.ScaleCooldown
+}
+
+// Validate checks the description for inconsistencies.
+func (sd *ServiceDescription) Validate() error {
+	if sd.Name == "" {
+		return fmt.Errorf("spec: service description needs a Name")
+	}
+	if sd.Replicas <= 0 {
+		return fmt.Errorf("spec: service %q needs at least one replica", sd.Name)
+	}
+	if sd.CoresPerReplica < 0 || sd.GPUsPerReplica < 0 {
+		return fmt.Errorf("spec: service %q has a negative replica footprint", sd.Name)
+	}
+	if sd.BaseLatency <= 0 {
+		return fmt.Errorf("spec: service %q needs a positive BaseLatency", sd.Name)
+	}
+	if sd.PerItemLatency < 0 || sd.StartupDelay < 0 || sd.BatchWindow < 0 || sd.ScaleCooldown < 0 {
+		return fmt.Errorf("spec: service %q has a negative duration parameter", sd.Name)
+	}
+	if sd.LatencySigma < 0 {
+		return fmt.Errorf("spec: service %q has negative LatencySigma", sd.Name)
+	}
+	if sd.MaxBatch < 0 || sd.MinReplicas < 0 || sd.MaxReplicas < 0 {
+		return fmt.Errorf("spec: service %q has a negative count parameter", sd.Name)
+	}
+	if sd.Autoscaled() {
+		if sd.MaxReplicas < sd.FloorReplicas() {
+			return fmt.Errorf("spec: service %q MaxReplicas %d below MinReplicas %d",
+				sd.Name, sd.MaxReplicas, sd.FloorReplicas())
+		}
+		if sd.Replicas > sd.MaxReplicas || sd.Replicas < sd.FloorReplicas() {
+			return fmt.Errorf("spec: service %q initial Replicas %d outside [%d,%d]",
+				sd.Name, sd.Replicas, sd.FloorReplicas(), sd.MaxReplicas)
+		}
+	}
+	return nil
+}

@@ -126,7 +126,13 @@ type TaskDescription struct {
 	Stage    string
 	// Service marks long-running service tasks managed by the service
 	// manager (started before the workload, stopped at teardown).
+	// Service-endpoint replicas deployed through a ServiceDescription
+	// carry this flag implicitly.
 	Service bool
+	// Requests couples the task to deployed inference services: at each
+	// call's phase of the compute body, the task issues the call's
+	// requests and blocks until the responses arrive (see ServiceCall).
+	Requests []ServiceCall
 }
 
 // TotalCores returns the CPU slots the task occupies.
@@ -177,6 +183,16 @@ func (t *TaskDescription) Validate(slotsPerNode, gpusPerNode int) error {
 	}
 	if t.Kind == Function && t.MultiNode() {
 		return fmt.Errorf("spec: function task %q cannot span nodes", t.UID)
+	}
+	if len(t.Requests) > 0 {
+		if t.Service {
+			return fmt.Errorf("spec: service task %q cannot itself issue service requests", t.UID)
+		}
+		for _, c := range t.Requests {
+			if err := c.Validate(); err != nil {
+				return fmt.Errorf("task %q: %w", t.UID, err)
+			}
+		}
 	}
 	return nil
 }

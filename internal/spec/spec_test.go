@@ -78,6 +78,65 @@ func TestPilotValidation(t *testing.T) {
 	}
 }
 
+func TestServiceDescriptionValidate(t *testing.T) {
+	good := ServiceDescription{
+		Name: "llm", Replicas: 2, BaseLatency: 100 * sim.Millisecond,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]ServiceDescription{
+		"no name":          {Replicas: 1, BaseLatency: sim.Second},
+		"no replicas":      {Name: "x", BaseLatency: sim.Second},
+		"no base latency":  {Name: "x", Replicas: 1},
+		"negative footpr":  {Name: "x", Replicas: 1, BaseLatency: sim.Second, GPUsPerReplica: -1},
+		"max < min":        {Name: "x", Replicas: 2, BaseLatency: sim.Second, MinReplicas: 4, MaxReplicas: 2},
+		"initial > max":    {Name: "x", Replicas: 9, BaseLatency: sim.Second, MaxReplicas: 4},
+		"negative window":  {Name: "x", Replicas: 1, BaseLatency: sim.Second, BatchWindow: -1},
+	}
+	for name, sd := range cases {
+		if err := sd.Validate(); err == nil {
+			t.Errorf("%s: validation should fail", name)
+		}
+	}
+	// Defaults and the latency model.
+	if good.BatchCap() != 1 || good.CoresEach() != 1 {
+		t.Error("BatchCap/CoresEach defaults")
+	}
+	sd := ServiceDescription{BaseLatency: 100 * sim.Millisecond, PerItemLatency: 10 * sim.Millisecond}
+	if sd.BatchLatency(1) != 100*sim.Millisecond || sd.BatchLatency(5) != 140*sim.Millisecond {
+		t.Errorf("batch latency: %v / %v", sd.BatchLatency(1), sd.BatchLatency(5))
+	}
+}
+
+func TestTaskServiceCoupling(t *testing.T) {
+	td := TaskDescription{
+		CoresPerRank: 1, Ranks: 1, Duration: sim.Second,
+		Requests: []ServiceCall{{Service: "llm", Count: 4, Phase: 0.5}},
+	}
+	if err := td.Validate(56, 8); err != nil {
+		t.Fatal(err)
+	}
+	// A service replica cannot itself couple to services.
+	svc := td
+	svc.Service = true
+	if err := svc.Validate(56, 8); err == nil {
+		t.Fatal("service task with Requests must be invalid")
+	}
+	bad := td
+	bad.Requests = []ServiceCall{{Service: "llm", Phase: 1.5}}
+	if err := bad.Validate(56, 8); err == nil {
+		t.Fatal("phase outside [0,1] must be invalid")
+	}
+	bad.Requests = []ServiceCall{{Count: 1}}
+	if err := bad.Validate(56, 8); err == nil {
+		t.Fatal("empty service name must be invalid")
+	}
+	if (ServiceCall{}).NumRequests() != 1 {
+		t.Fatal("zero Count should default to 1 request")
+	}
+}
+
 func TestStringers(t *testing.T) {
 	if Executable.String() != "executable" || Function.String() != "function" {
 		t.Error("TaskKind strings")

@@ -34,7 +34,10 @@ package rp
 import (
 	"rpgo/internal/agent"
 	"rpgo/internal/core"
+	"rpgo/internal/metrics"
 	"rpgo/internal/model"
+	"rpgo/internal/profiler"
+	"rpgo/internal/service"
 	"rpgo/internal/sim"
 	"rpgo/internal/spec"
 )
@@ -62,6 +65,43 @@ type PilotDescription = spec.PilotDescription
 
 // PartitionConfig lays out one backend group inside a pilot.
 type PartitionConfig = spec.PartitionConfig
+
+// ServiceDescription describes a persistent inference service: replicas,
+// latency model, dynamic batching and autoscaling bounds.
+type ServiceDescription = spec.ServiceDescription
+
+// ServiceCall couples a task to a deployed service: it issues requests at
+// a phase of the task's compute body and blocks on the responses.
+type ServiceCall = spec.ServiceCall
+
+// ServiceHandle is the client-side handle of a deployed service.
+type ServiceHandle = core.ServiceHandle
+
+// ServiceStats summarizes an endpoint: latency percentiles, batch
+// occupancy, utilization and the autoscaling event log.
+type ServiceStats = service.Stats
+
+// ScaleEvent is one autoscaler action on a service's replica set.
+type ScaleEvent = service.ScaleEvent
+
+// RequestTrace is the per-request record (issue → dispatch → response).
+type RequestTrace = profiler.RequestTrace
+
+// LatencySummary reports p50/p95/p99 latency percentiles in seconds.
+type LatencySummary = metrics.LatencySummary
+
+// Series is a named timeline (queue depth, replica count, concurrency).
+type Series = metrics.Series
+
+// ASCIIPlot renders a timeline as a fixed-width text chart.
+func ASCIIPlot(s Series, width, height int, title string) string {
+	return metrics.ASCIIPlot(s, width, height, title)
+}
+
+// SummarizeLatencies condenses a latency sample into p50/p95/p99.
+func SummarizeLatencies(ds []Duration) LatencySummary {
+	return metrics.SummarizeLatencies(ds)
+}
 
 // Params bundles the calibrated model constants (see internal/model).
 type Params = model.Params

@@ -41,6 +41,85 @@ func TestPublicAPISurface(t *testing.T) {
 	}
 }
 
+// TestServiceEndToEnd runs the acceptance scenario through the public
+// API: deploy an autoscaled inference service, couple executable tasks to
+// it, and check that latency percentiles, batch occupancy and the scale
+// timeline come out — identically for identical seeds.
+func TestServiceEndToEnd(t *testing.T) {
+	run := func() ([]rp.RequestTrace, rp.ServiceStats) {
+		sess := rp.NewSession(rp.Config{Seed: 1234})
+		pilot, err := sess.SubmitPilot(rp.PilotDescription{
+			Nodes: 8,
+			Partitions: []rp.PartitionConfig{
+				{Backend: rp.BackendFlux, Instances: 1, NodeShare: 0.5},
+				{Backend: rp.BackendDragon, Instances: 1, NodeShare: 0.5},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handle, err := pilot.DeployService(rp.ServiceDescription{
+			Name: "llm", Replicas: 1,
+			MinReplicas: 1, MaxReplicas: 6,
+			GPUsPerReplica: 1, StartupDelay: 5 * rp.Second,
+			BaseLatency: 100 * rp.Millisecond, PerItemLatency: 20 * rp.Millisecond,
+			LatencySigma: 0.2, BatchWindow: 30 * rp.Millisecond, MaxBatch: 8,
+			TargetQueuePerReplica: 2, ScaleCooldown: 5 * rp.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks := make([]*rp.TaskDescription, 0, 80)
+		for i := 0; i < 80; i++ {
+			tasks = append(tasks, &rp.TaskDescription{
+				Kind: rp.Executable, CoresPerRank: 1, Ranks: 1,
+				Duration: 60 * rp.Second,
+				Requests: []rp.ServiceCall{
+					{Service: "llm", Count: 2, Phase: 0.3},
+					{Service: "llm", Count: 2, Phase: 0.9},
+				},
+			})
+		}
+		tm := sess.TaskManager(pilot)
+		tm.Submit(tasks)
+		if err := tm.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return handle.Requests(), handle.Stats()
+	}
+
+	reqs, st := run()
+	if st.Served != 320 || st.Failed != 0 {
+		t.Fatalf("served=%d failed=%d, want 320/0", st.Served, st.Failed)
+	}
+	if st.Latency.P50 <= 0 || st.Latency.P99 < st.Latency.P95 || st.Latency.P95 < st.Latency.P50 {
+		t.Fatalf("percentiles malformed: %+v", st.Latency)
+	}
+	if st.Occupancy <= 0 || st.Occupancy > 1 {
+		t.Fatalf("occupancy = %v", st.Occupancy)
+	}
+	if st.PeakReplicas < 2 {
+		t.Fatalf("peak replicas = %d, the burst should scale up", st.PeakReplicas)
+	}
+	if len(st.ScaleEvents) == 0 {
+		t.Fatal("no autoscaling events recorded")
+	}
+
+	// Determinism: a second identical run yields a bit-identical trace.
+	reqs2, st2 := run()
+	if len(reqs) != len(reqs2) {
+		t.Fatalf("trace lengths %d vs %d", len(reqs), len(reqs2))
+	}
+	for i := range reqs {
+		if reqs[i] != reqs2[i] {
+			t.Fatalf("request trace %d differs:\n%+v\n%+v", i, reqs[i], reqs2[i])
+		}
+	}
+	if st.Latency != st2.Latency {
+		t.Fatalf("latency summaries differ: %+v vs %+v", st.Latency, st2.Latency)
+	}
+}
+
 func TestDurationHelpers(t *testing.T) {
 	if rp.Seconds(1.5) != 1500*rp.Millisecond {
 		t.Fatal("Seconds conversion")
