@@ -213,6 +213,60 @@ func BenchmarkServiceAutoscale(b *testing.B) {
 	b.ReportMetric(peak, "peak_replicas")
 }
 
+// --- Data-staging subsystem (DESIGN.md §4) ---
+
+// BenchmarkStagingHandoff runs the producer→consumer handoff campaign
+// under both placement policies and reports the makespans side by side —
+// the headline number of the data subsystem.
+func BenchmarkStagingHandoff(b *testing.B) {
+	var pack, aware float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.HandoffConfig{
+			Nodes: 4, Stages: 3, Width: 448, Bytes: 2 << 30,
+			TaskSeconds: 2, Seed: uint64(i + 1),
+		}
+		cfg.Policy = spec.PlacePack
+		pack = experiments.RunHandoff(cfg).Makespan.Seconds()
+		cfg.Policy = spec.PlaceDataAware
+		aware = experiments.RunHandoff(cfg).Makespan.Seconds()
+	}
+	b.ReportMetric(pack, "makespan_s_pack")
+	b.ReportMetric(aware, "makespan_s_data_aware")
+}
+
+// BenchmarkStagingSweepCell runs one cell of the data size × placement
+// characterization and reports bytes moved and the locality hit rate.
+func BenchmarkStagingSweepCell(b *testing.B) {
+	var moved, hit float64
+	for i := 0; i < b.N; i++ {
+		cells := experiments.RunStagingSweep(experiments.StagingSweepConfig{
+			Nodes: 4, Shards: 16, TasksPerShard: 21,
+			ShardBytes:  []int64{1 << 30},
+			Policies:    []spec.PlacementPolicy{spec.PlaceDataAware},
+			TaskSeconds: 2, Seed: uint64(i + 1), Reps: 1,
+		})
+		moved = cells[0].BytesMoved / float64(1<<30)
+		hit = cells[0].HitRate
+	}
+	b.ReportMetric(moved, "GB_moved")
+	b.ReportMetric(hit, "locality_hit_rate")
+}
+
+// BenchmarkCheckpointPressure measures the synchronized write burst.
+func BenchmarkCheckpointPressure(b *testing.B) {
+	var occ, stageout float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunCheckpointPressure(experiments.CheckpointConfig{
+			Nodes: 4, Writers: 224, Waves: 2, CkptBytes: 2 << 30,
+			TaskSeconds: 5, Seed: uint64(i + 1),
+		})
+		occ = res.SharedOccupancy
+		stageout = res.StageOutPerTask.Seconds()
+	}
+	b.ReportMetric(occ, "pfs_occupancy")
+	b.ReportMetric(stageout, "stageout_s/task")
+}
+
 // --- Ablations: the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationNoCeiling removes Frontier's 112-srun cap: utilization

@@ -1,0 +1,98 @@
+// benchjson converts `go test -bench` text output (read on stdin) into a
+// stable JSON document, so CI can archive one benchmark artifact per PR
+// and the performance trajectory of the repository stays diffable.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -benchmem -run '^$' . | go run ./cmd/benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every reported metric (ns/op, B/op,
+	// allocs/op, and every b.ReportMetric custom unit).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	report := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseLine(line); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `Benchmark<Name>-P  N  v1 u1  v2 u2 ...` line.
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"rpgo/internal/data"
 	"rpgo/internal/dragon"
 	"rpgo/internal/flux"
 	"rpgo/internal/launch"
@@ -75,6 +76,10 @@ type Agent struct {
 	src    *rng.Source
 
 	desc spec.PilotDescription
+
+	// dataSys is the pilot's storage model: tiered channels, contention,
+	// and the dataset placement registry behind data-aware scheduling.
+	dataSys *data.System
 
 	// Pipeline stations.
 	stagerIn  *sim.Server[*Task]
@@ -145,10 +150,15 @@ func New(desc spec.PilotDescription, eng *sim.Engine, ctrl *slurm.Controller,
 	a.scheduler = sim.NewServer(eng, 1, func(*Task) sim.Duration {
 		return sim.Seconds(schedStream.Exp(1 / params.RP.SchedRate))
 	}, a.scheduled)
+	a.dataSys = data.NewSystem(eng, alloc, params.Data, prof)
 
 	a.eng.After(sim.Seconds(params.RP.AgentBootstrap), a.bootstrapBackends)
 	return a, nil
 }
+
+// Data returns the pilot's storage subsystem (channels, registry,
+// locality counters).
+func (a *Agent) Data() *data.System { return a.dataSys }
 
 // bootstrapBackends partitions the allocation and launches every backend
 // instance concurrently.
@@ -336,9 +346,16 @@ func (a *Agent) Submit(t *Task, done func(*Task)) {
 		return
 	}
 	a.transition(t, states.TaskAgentStagingIn)
-	if t.TD.InputFiles > 0 {
+	switch {
+	case t.TD.HasStaging():
+		// Sized directives: contention-aware pre-placement staging into
+		// shared tiers; node-local staging runs in the task body once
+		// placement is known.
+		a.stageInShared(t)
+	case t.TD.InputFiles > 0:
+		// Legacy flat per-file cost.
 		a.stagerIn.Submit(t)
-	} else {
+	default:
 		a.stagedIn(t)
 	}
 }
@@ -424,10 +441,23 @@ func (a *Agent) forward(g *executorGroup, t *Task) {
 	if body == nil && len(t.TD.Requests) > 0 {
 		body = a.coupledBody(t)
 	}
+	var prefer func() []int
+	var placed []int
+	var onPlaced func(at sim.Time, nodeIDs []int)
+	if t.TD.HasStaging() {
+		// Late-bound: backends evaluate the preference at placement
+		// time, when the registry reflects every transfer completed (or
+		// started) while the task sat in the backend queue.
+		prefer = func() []int { return a.preferNodes(t.TD) }
+		onPlaced = func(at sim.Time, nodeIDs []int) { placed = nodeIDs }
+		body = a.dataBody(t, body, &placed)
+	}
 	l.Submit(&launch.Request{
-		UID:  t.TD.UID,
-		TD:   t.TD,
-		Body: body,
+		UID:      t.TD.UID,
+		TD:       t.TD,
+		Body:     body,
+		Prefer:   prefer,
+		OnPlaced: onPlaced,
 		OnStart: func(at sim.Time) {
 			a.transition(t, states.TaskRunning)
 			t.Trace.Start = at
@@ -492,9 +522,15 @@ func (a *Agent) completed(g *executorGroup, t *Task, at sim.Time, failed bool, r
 	}
 	t.Trace.End = at
 	a.transition(t, states.TaskAgentStagingOut)
-	if t.TD.OutputFiles > 0 {
+	switch {
+	case t.TD.HasStaging():
+		// Output directives were written by the task body's epilogue
+		// (the node holds its slots while checkpoints drain, which is
+		// what creates write pressure); nothing left to do here.
+		a.stagedOut(t)
+	case t.TD.OutputFiles > 0:
 		a.stagerOut.Submit(t)
-	} else {
+	default:
 		a.stagedOut(t)
 	}
 }

@@ -1,0 +1,188 @@
+package agent
+
+// The agent's data movers. Tasks carrying sized StagingDirectives bypass
+// the legacy flat-cost stagers and move real bytes through the pilot's
+// storage hierarchy (internal/data) in two phases:
+//
+//   1. stageInShared — before scheduling, inputs whose destination is a
+//      shared tier (burst buffer pre-loads) transfer tier-to-tier through
+//      the contention channels.
+//   2. dataBody — after placement, the task body's prologue pulls
+//      node-local inputs onto the placement nodes (skipping nodes that
+//      already hold a replica: a locality hit), and its epilogue writes
+//      output datasets back out while the task still holds its slots.
+//
+// preferNodes feeds the data-aware placement policy: the nodes already
+// holding the task's node-local inputs, most bytes first, lowest node ID
+// breaking ties.
+
+import (
+	"sort"
+
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+)
+
+// stageInShared runs pre-placement staging for every input directive whose
+// destination is a shared tier, then hands the task to the scheduler.
+func (a *Agent) stageInShared(t *Task) {
+	wg := sim.NewWaitGroup(a.eng)
+	wg.Add(1) // held until all directives are dispatched
+	start := a.eng.Now()
+	for i := range t.TD.InputData {
+		d := t.TD.InputData[i]
+		// Inputs are by definition present at their source tier.
+		a.dataSys.Seed(d.Dataset, d.SizeBytes, d.Source)
+		if d.Dest == spec.TierNodeLocal || d.Dest == d.Source {
+			continue // node-local staging happens in the body
+		}
+		if a.dataSys.Registry().HasTier(d.Dataset, d.Dest) {
+			t.Trace.DataHits++
+			a.dataSys.RecordHit()
+			continue
+		}
+		wg.Add(1)
+		if a.dataSys.JoinPendingTier(d.Dataset, d.Dest, wg.Done) {
+			// Another task is already staging this dataset to the
+			// tier: ride its transfer instead of duplicating it.
+			t.Trace.DataHits++
+			a.dataSys.RecordHit()
+			continue
+		}
+		t.Trace.DataMisses++
+		a.dataSys.RecordMiss()
+		t.Trace.BytesIn += d.SizeBytes
+		a.dataSys.TierTransfer(t.TD.UID, d.Dataset, d.SizeBytes, d.Source, d.Dest, wg.Done)
+	}
+	wg.Done()
+	wg.Wait(func() {
+		t.Trace.StageIn += a.eng.Now().Sub(start)
+		a.stagedIn(t)
+	})
+}
+
+// preferNodes builds the placement preference list for a task under the
+// data-aware policy: nodes already holding its node-local input datasets,
+// ordered by bytes held descending, node ID ascending. Under the pack
+// policy it returns nil and placement stays locality-blind.
+func (a *Agent) preferNodes(td *spec.TaskDescription) []int {
+	if a.desc.Placement != spec.PlaceDataAware {
+		return nil
+	}
+	score := make(map[int]int64)
+	for i := range td.InputData {
+		d := td.InputData[i]
+		if d.Dest != spec.TierNodeLocal {
+			continue
+		}
+		for _, n := range a.dataSys.Registry().NodesHolding(d.Dataset) {
+			score[n] += d.SizeBytes
+		}
+		// Nodes a replica is in flight to are nearly as good: the task
+		// joins the pending transfer instead of paying for its own.
+		for _, n := range a.dataSys.PendingNodes(d.Dataset) {
+			score[n] += d.SizeBytes / 2
+		}
+	}
+	if len(score) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(score))
+	for n := range score {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if score[ids[i]] != score[ids[j]] {
+			return score[ids[i]] > score[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// dataBody wraps a task's process body with node-local staging: pull
+// missing input replicas onto the placement nodes, run the compute (the
+// inner body, or the plain Duration sleep), write output datasets out, and
+// only then complete. The wall time a task spends staging is time its
+// slots stay busy — exactly how staging on a compute node behaves.
+// placed points at the node IDs captured by the launch request's OnPlaced
+// hook, which always fires before the body starts.
+func (a *Agent) dataBody(t *Task, inner func(sim.Time, func()), placed *[]int) func(sim.Time, func()) {
+	// Generation guard, same idiom as coupledBody: after a mid-run crash
+	// the agent re-dispatches with a fresh body, and the orphaned one
+	// must stop without touching the trace or the registry further.
+	gen := t.gen
+	live := func() bool { return t.gen == gen }
+	return func(start sim.Time, done func()) {
+		nodes := *placed
+		wg := sim.NewWaitGroup(a.eng)
+		wg.Add(1)
+		for i := range t.TD.InputData {
+			d := t.TD.InputData[i]
+			if d.Dest != spec.TierNodeLocal {
+				continue
+			}
+			// Multi-node tasks replicate node-local inputs on every
+			// placement node (data-parallel ranks each read locally).
+			for _, n := range nodes {
+				if a.dataSys.Registry().HasNode(d.Dataset, n) {
+					t.Trace.DataHits++
+					a.dataSys.RecordHit()
+					continue
+				}
+				wg.Add(1)
+				if a.dataSys.JoinPending(d.Dataset, n, wg.Done) {
+					// Another task is already pulling this replica:
+					// ride its transfer instead of duplicating it.
+					t.Trace.DataHits++
+					a.dataSys.RecordHit()
+					continue
+				}
+				t.Trace.DataMisses++
+				a.dataSys.RecordMiss()
+				t.Trace.BytesIn += d.SizeBytes
+				a.dataSys.StageToNode(t.TD.UID, d.Dataset, d.SizeBytes, d.Source, n, wg.Done)
+			}
+		}
+		wg.Done()
+		wg.Wait(func() {
+			if !live() {
+				return
+			}
+			t.Trace.StageIn += a.eng.Now().Sub(start)
+			compute := func(finish func()) {
+				if inner != nil {
+					inner(a.eng.Now(), finish)
+				} else {
+					a.eng.After(t.TD.Duration, finish)
+				}
+			}
+			compute(func() {
+				if !live() {
+					return
+				}
+				outStart := a.eng.Now()
+				primary := -1
+				if len(nodes) > 0 {
+					primary = nodes[0]
+				}
+				owg := sim.NewWaitGroup(a.eng)
+				owg.Add(1)
+				for i := range t.TD.OutputData {
+					d := t.TD.OutputData[i]
+					t.Trace.BytesOut += d.SizeBytes
+					owg.Add(1)
+					a.dataSys.WriteFromNode(t.TD.UID, d.Dataset, d.SizeBytes, primary, d.Dest, owg.Done)
+				}
+				owg.Done()
+				owg.Wait(func() {
+					if !live() {
+						return
+					}
+					t.Trace.StageOut += a.eng.Now().Sub(outStart)
+					done()
+				})
+			})
+		})
+	}
+}

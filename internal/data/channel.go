@@ -1,0 +1,224 @@
+package data
+
+// Flow-level bandwidth contention. A Channel is one shared link of the
+// storage hierarchy (the parallel FS's aggregate pipe, one node's NVMe, the
+// burst buffer). A transfer is a flow that traverses one or more channels;
+// at any instant its rate is the minimum, over its channels, of the
+// channel's fair share capacity/nActive. Whenever a flow starts or
+// finishes, the System recomputes every active rate and reschedules the
+// next completion — the classic flow-level network model, driven entirely
+// through the deterministic event engine.
+
+import (
+	"math"
+
+	"rpgo/internal/metrics"
+	"rpgo/internal/sim"
+)
+
+// Channel is one shared-bandwidth link.
+type Channel struct {
+	name     string
+	capacity float64 // bytes/s
+
+	// nActive and sumRate are rebuilt on every recompute.
+	nActive int
+	sumRate float64
+
+	// lastFrac is the last recorded occupancy (sumRate/capacity); the
+	// samples list is the step function MeanOccupancy integrates.
+	lastFrac float64
+	bytes    int64 // total bytes delivered
+
+	samples []occSample
+}
+
+type occSample struct {
+	t sim.Time
+	v float64
+}
+
+// Name identifies the channel (e.g. "sharedfs", "nvme:12").
+func (c *Channel) Name() string { return c.name }
+
+// Capacity returns the channel bandwidth in bytes/s.
+func (c *Channel) Capacity() float64 { return c.capacity }
+
+// Bytes returns the total bytes delivered through the channel so far.
+func (c *Channel) Bytes() int64 { return c.bytes }
+
+// Active returns the number of flows currently traversing the channel.
+func (c *Channel) Active() int { return c.nActive }
+
+// note records an occupancy change for the timeline.
+func (c *Channel) note(at sim.Time, frac float64) {
+	if frac == c.lastFrac {
+		return
+	}
+	c.lastFrac = frac
+	c.samples = append(c.samples, occSample{t: at, v: frac})
+}
+
+// OccupancySeries returns the bandwidth-occupancy timeline (fraction of
+// capacity in use, sampled at every change), downsampled to maxPoints.
+func (c *Channel) OccupancySeries(maxPoints int) metrics.Series {
+	s := metrics.Series{Name: c.name + ".occupancy"}
+	for _, p := range c.samples {
+		s.Points = append(s.Points, metrics.Point{T: p.t, V: p.v})
+	}
+	return metrics.Downsample(s, maxPoints)
+}
+
+// MeanOccupancy returns the time-averaged occupancy fraction over
+// [start, end], integrating the recorded step function.
+func (c *Channel) MeanOccupancy(start, end sim.Time) float64 {
+	span := end.Sub(start).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	busy := 0.0
+	cur := 0.0
+	last := start
+	for _, p := range c.samples {
+		if p.t <= start {
+			cur = p.v
+			continue
+		}
+		t := p.t
+		if t > end {
+			t = end
+		}
+		busy += cur * t.Sub(last).Seconds()
+		last = t
+		cur = p.v
+		if p.t >= end {
+			break
+		}
+	}
+	if last < end {
+		busy += cur * end.Sub(last).Seconds()
+	}
+	return busy / span
+}
+
+// flow is one in-flight transfer.
+type flow struct {
+	seq       uint64
+	remaining float64 // bytes left
+	rate      float64 // bytes/s, current fair share
+	chans     []*Channel
+	tt        transferInfo
+	done      func()
+}
+
+type transferInfo struct {
+	dataset string
+	task    string
+	bytes   int64
+	src     string
+	dst     string
+	node    int
+	start   sim.Time
+}
+
+// advance progresses every flow to the current time.
+func (s *System) advance() {
+	now := s.eng.Now()
+	dt := now.Sub(s.lastT).Seconds()
+	if dt > 0 {
+		for _, f := range s.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	s.lastT = now
+}
+
+// recompute redistributes fair shares and reschedules the next completion.
+// It must run at the current time with advance already applied.
+func (s *System) recompute() {
+	for _, ch := range s.channels {
+		ch.nActive = 0
+		ch.sumRate = 0
+	}
+	for _, f := range s.flows {
+		for _, ch := range f.chans {
+			ch.nActive++
+		}
+	}
+	for _, f := range s.flows {
+		r := math.Inf(1)
+		for _, ch := range f.chans {
+			if share := ch.capacity / float64(ch.nActive); share < r {
+				r = share
+			}
+		}
+		f.rate = r
+		for _, ch := range f.chans {
+			ch.sumRate += r
+		}
+	}
+	now := s.eng.Now()
+	for _, ch := range s.channels {
+		ch.note(now, ch.sumRate/ch.capacity)
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	if len(s.flows) == 0 {
+		return
+	}
+	next := sim.Duration(-1)
+	for _, f := range s.flows {
+		d := flowETA(f.remaining, f.rate)
+		if next < 0 || d < next {
+			next = d
+		}
+	}
+	s.timer = s.eng.After(next, s.tick)
+}
+
+// flowETA converts remaining bytes at a rate to a Duration, never zero so
+// virtual time strictly progresses toward completion.
+func flowETA(remaining, rate float64) sim.Duration {
+	if remaining <= 0 {
+		return 0
+	}
+	d := sim.Seconds(remaining / rate)
+	if d <= 0 {
+		d = sim.Microsecond
+	}
+	return d
+}
+
+// tick fires at the earliest projected completion: finished flows complete
+// (in start order, keeping runs deterministic) and shares redistribute.
+func (s *System) tick() {
+	s.timer = nil
+	s.advance()
+	kept := s.flows[:0]
+	var finished []*flow
+	for _, f := range s.flows {
+		// Tolerate one microsecond's worth of rounding: the engine
+		// quantizes time to µs, so a flow within rate·1µs of empty is
+		// done.
+		if f.remaining <= f.rate*1e-6 {
+			finished = append(finished, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	s.flows = kept
+	now := s.eng.Now()
+	for _, f := range finished {
+		s.bytesMoved += f.tt.bytes
+		for _, ch := range f.chans {
+			ch.bytes += f.tt.bytes
+		}
+		s.finishTransfer(f, now)
+	}
+	s.recompute()
+}

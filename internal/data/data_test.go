@@ -1,0 +1,188 @@
+package data
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rpgo/internal/model"
+	"rpgo/internal/platform"
+	"rpgo/internal/profiler"
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+)
+
+// zeroLatencyParams makes transfer math exact for hand-computed cases.
+func zeroLatencyParams() model.DataParams {
+	return model.DataParams{
+		NVMeBandwidth:   5e9,
+		SharedFSBase:    1e12, // effectively uncontended
+		SharedFSPerNode: 0,
+	}
+}
+
+func newSystem(t *testing.T, nodes int, p model.DataParams) (*sim.Engine, *System, *profiler.Profiler) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cluster := platform.NewCluster(platform.Frontier(1), nodes)
+	prof := profiler.New()
+	return eng, NewSystem(eng, cluster.Allocate(nodes), p, prof), prof
+}
+
+func TestSingleFlowBottleneck(t *testing.T) {
+	eng, sys, prof := newSystem(t, 2, zeroLatencyParams())
+	var done sim.Time = -1
+	// 10 GB onto node 0: bottleneck is the 5 GB/s NVMe → 2 s.
+	sys.StageToNode("t0", "ds", 10e9, spec.TierSharedFS, 0, func() { done = eng.Now() })
+	eng.Run()
+	if done < 0 {
+		t.Fatal("transfer never completed")
+	}
+	if got := done.Seconds(); math.Abs(got-2.0) > 1e-3 {
+		t.Errorf("10GB at 5GB/s took %.6fs, want 2s", got)
+	}
+	trs := prof.Transfers()
+	if len(trs) != 1 || trs[0].Bytes != 10e9 || trs[0].Dst != "nvme:0" {
+		t.Fatalf("transfer trace: %+v", trs)
+	}
+	if !sys.Registry().HasNode("ds", 0) {
+		t.Error("registry missing node replica after stage-in")
+	}
+}
+
+func TestFairShareContention(t *testing.T) {
+	eng, sys, _ := newSystem(t, 1, zeroLatencyParams())
+	var doneA, doneB sim.Time = -1, -1
+	// A: 10 GB at t=0. B: 5 GB at t=0.5s. Both share node 0's 5 GB/s.
+	// A alone for 0.5s (2.5 GB), then 2.5 GB/s each: B's 5 GB ends at
+	// t=2.5s; A (2.5 GB left) finishes alone at t=3.0s.
+	sys.StageToNode("a", "dsA", 10e9, spec.TierSharedFS, 0, func() { doneA = eng.Now() })
+	eng.At(sim.Time(500*sim.Millisecond), func() {
+		sys.StageToNode("b", "dsB", 5e9, spec.TierSharedFS, 0, func() { doneB = eng.Now() })
+	})
+	eng.Run()
+	if math.Abs(doneB.Seconds()-2.5) > 1e-3 {
+		t.Errorf("flow B completed at %.6fs, want 2.5s", doneB.Seconds())
+	}
+	if math.Abs(doneA.Seconds()-3.0) > 1e-3 {
+		t.Errorf("flow A completed at %.6fs, want 3.0s", doneA.Seconds())
+	}
+}
+
+func TestSharedChannelAggregateContention(t *testing.T) {
+	p := zeroLatencyParams()
+	p.SharedFSBase = 8e9 // aggregate PFS pipe smaller than 2×NVMe
+	eng, sys, _ := newSystem(t, 2, p)
+	var ends []sim.Time
+	// Two flows to different nodes: NVMe channels are private, but both
+	// cross the 8 GB/s shared pipe → 4 GB/s each for 8 GB → 2 s.
+	for n := 0; n < 2; n++ {
+		sys.StageToNode("t", "ds", 8e9, spec.TierSharedFS, n, func() { ends = append(ends, eng.Now()) })
+	}
+	eng.Run()
+	if len(ends) != 2 {
+		t.Fatalf("completed %d flows, want 2", len(ends))
+	}
+	for _, e := range ends {
+		if math.Abs(e.Seconds()-2.0) > 1e-3 {
+			t.Errorf("flow completed at %.6fs, want 2.0s (shared-pipe bound)", e.Seconds())
+		}
+	}
+	occ := sys.SharedChannel().MeanOccupancy(0, sim.Time(2*sim.Second))
+	if math.Abs(occ-1.0) > 0.01 {
+		t.Errorf("shared occupancy = %.3f, want ~1.0 while saturated", occ)
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	eng, sys, prof := newSystem(t, 1, zeroLatencyParams())
+	fired := false
+	sys.StageToNode("t", "empty", 0, spec.TierSharedFS, 0, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("zero-byte transfer never completed")
+	}
+	if len(prof.Transfers()) != 1 {
+		t.Fatalf("want a trace for the zero-byte transfer")
+	}
+}
+
+func TestBurstBufferFallsBackToShared(t *testing.T) {
+	p := zeroLatencyParams() // BurstBufferPerNode zero → tier disabled
+	eng, sys, prof := newSystem(t, 1, p)
+	if sys.BurstChannel() != nil {
+		t.Fatal("burst channel should be disabled")
+	}
+	sys.StageToNode("t", "ds", 1e9, spec.TierBurstBuffer, 0, func() {})
+	eng.Run()
+	if got := prof.Transfers()[0].Src; got != "sharedfs" {
+		t.Errorf("disabled burst buffer should degrade to sharedfs, got src %q", got)
+	}
+}
+
+func TestTierTransferRegisters(t *testing.T) {
+	p := zeroLatencyParams()
+	p.BurstBufferPerNode = 4e9
+	p.BurstBufferLatency = 0
+	eng, sys, _ := newSystem(t, 2, p)
+	sys.TierTransfer("t", "weights", 2e9, spec.TierSharedFS, spec.TierBurstBuffer, func() {})
+	eng.Run()
+	if !sys.Registry().HasTier("weights", spec.TierBurstBuffer) {
+		t.Error("tier transfer must register destination presence")
+	}
+	if sys.Registry().HasNode("weights", 0) {
+		t.Error("tier transfer must not create node replicas")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterNode("ds", 100, 3)
+	r.RegisterNode("ds", 100, 1)
+	r.RegisterNode("other", 50, 2)
+	if got := r.NodesHolding("ds"); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("NodesHolding = %v, want sorted [1 3]", got)
+	}
+	if !r.HasNode("ds", 1) || r.HasNode("ds", 2) {
+		t.Error("HasNode wrong")
+	}
+	if r.Bytes("ds") != 100 {
+		t.Errorf("Bytes = %d", r.Bytes("ds"))
+	}
+	r.Evict("ds", 1)
+	if r.HasNode("ds", 1) {
+		t.Error("Evict did not drop the replica")
+	}
+	if r.Replicas() != 2 {
+		t.Errorf("Replicas = %d, want 2", r.Replicas())
+	}
+}
+
+// TestTransferDeterminism: the same schedule of transfers produces
+// bit-identical traces across runs.
+func TestTransferDeterminism(t *testing.T) {
+	run := func() []profiler.TransferTrace {
+		p := model.Default().Data
+		eng, sys, prof := newSystem(t, 4, p)
+		for i := 0; i < 16; i++ {
+			n := i % 4
+			at := sim.Time(i) * sim.Time(100*sim.Millisecond)
+			sz := int64(1+i%5) * 500 * MB
+			i := i
+			eng.At(at, func() {
+				sys.StageToNode("t", nameOf(i%3), sz, spec.TierSharedFS, n, func() {})
+			})
+		}
+		eng.Run()
+		return prof.Transfers()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("transfer traces diverge across identical runs:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no transfers recorded")
+	}
+}
+
+func nameOf(i int) string { return string(rune('a' + i)) }

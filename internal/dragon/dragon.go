@@ -269,12 +269,12 @@ func (d *Runtime) pump() {
 		return
 	}
 	for len(d.queue) > 0 {
-		r := d.queue[0]
-		pl := d.plc.Place(d.eng.Now(), r.TD)
+		idx, pl := d.plc.NextRequest(d.eng.Now(), d.queue, 0)
 		if pl == nil {
 			return
 		}
-		d.queue = d.queue[1:]
+		r := d.queue[idx]
+		d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
 		d.dispatcher.Submit(&dispatch{r: r, pl: pl})
 	}
 }

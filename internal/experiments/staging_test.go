@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"testing"
+
+	"rpgo/internal/data"
+	"rpgo/internal/spec"
+)
+
+func TestStagingSweepReportsDataMetrics(t *testing.T) {
+	cells := RunStagingSweep(StagingSweepConfig{
+		Nodes: 4, Shards: 16, TasksPerShard: 21,
+		ShardBytes:  []int64{512 * data.MB, 2 * data.GB},
+		Policies:    []spec.PlacementPolicy{spec.PlacePack, spec.PlaceDataAware},
+		TaskSeconds: 2, Seed: 11, Reps: 1,
+	})
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 2 sizes × 2 policies", len(cells))
+	}
+	for _, c := range cells {
+		t.Logf("%-28s makespan=%8.1fs moved=%6.1fGB hit=%.2f occ=%.3f stagein=%v",
+			c.Label(), c.Makespan.Seconds(), c.BytesMoved/float64(data.GB),
+			c.HitRate, c.SharedOccupancy, c.StageInPerTask)
+		if c.Failed > 0 {
+			t.Errorf("%s: %d failed tasks", c.Label(), c.Failed)
+		}
+		if c.BytesMoved <= 0 {
+			t.Errorf("%s: no bytes moved", c.Label())
+		}
+		if c.SharedOccupancy <= 0 || c.SharedOccupancy > 1 {
+			t.Errorf("%s: shared occupancy %.3f out of range", c.Label(), c.SharedOccupancy)
+		}
+		if c.HitRate <= 0 {
+			t.Errorf("%s: hit rate %.3f, want > 0 (21 readers per shard)", c.Label(), c.HitRate)
+		}
+	}
+	// Larger shards must move more bytes and stage longer.
+	if cells[0].BytesMoved >= cells[2].BytesMoved {
+		t.Errorf("bytes moved should grow with shard size: %v vs %v", cells[0].BytesMoved, cells[2].BytesMoved)
+	}
+}
+
+func TestStagingSweepTierAxis(t *testing.T) {
+	cells := RunStagingSweep(StagingSweepConfig{
+		Nodes: 4, Shards: 16, TasksPerShard: 21,
+		ShardBytes:  []int64{4 * data.GB},
+		Sources:     []spec.StageTier{spec.TierSharedFS, spec.TierBurstBuffer},
+		Policies:    []spec.PlacementPolicy{spec.PlacePack},
+		TaskSeconds: 2, Seed: 13, Reps: 1,
+	})
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2 tiers", len(cells))
+	}
+	pfs, bb := cells[0], cells[1]
+	t.Logf("sharedfs:    makespan=%.1fs occ=%.3f stagein=%v", pfs.Makespan.Seconds(), pfs.SharedOccupancy, pfs.StageInPerTask)
+	t.Logf("burstbuffer: makespan=%.1fs occ=%.3f stagein=%v", bb.Makespan.Seconds(), bb.SharedOccupancy, bb.StageInPerTask)
+	// Reading shards from the burst buffer must unload the parallel FS
+	// entirely and, at default bandwidths (16 GB/s BB vs 18 GB/s PFS at
+	// 4 nodes, but no metadata latency advantage — the win is isolation),
+	// keep staging no slower than the contended PFS path.
+	if bb.SharedOccupancy != 0 {
+		t.Errorf("burst-buffer reads still occupy the PFS: %.3f", bb.SharedOccupancy)
+	}
+	if pfs.SharedOccupancy <= 0 {
+		t.Error("PFS reads must occupy the PFS channel")
+	}
+}
+
+func TestCheckpointPressureSaturatesSharedFS(t *testing.T) {
+	res := RunCheckpointPressure(CheckpointConfig{
+		Nodes: 4, Writers: 224, Waves: 2,
+		CkptBytes: 2 * data.GB, Dest: spec.TierSharedFS,
+		TaskSeconds: 5, Seed: 7,
+	})
+	t.Logf("checkpoint: makespan=%.1fs moved=%dGB occ=%.3f stageout/task=%v",
+		res.Makespan.Seconds(), res.BytesMoved>>30, res.SharedOccupancy, res.StageOutPerTask)
+	if res.Failed > 0 {
+		t.Fatalf("%d failed tasks", res.Failed)
+	}
+	if want := int64(448 * 2 * data.GB); res.BytesMoved != want {
+		t.Errorf("bytes moved = %d, want %d (every checkpoint written)", res.BytesMoved, want)
+	}
+	// 448 writers × 2 GB into a ~18 GB/s pipe: the shared FS must be the
+	// bottleneck (high occupancy) and write-back far above free-pipe time.
+	if res.SharedOccupancy < 0.5 {
+		t.Errorf("shared occupancy %.3f, want > 0.5 under write pressure", res.SharedOccupancy)
+	}
+	if res.StageOutPerTask.Seconds() < 1 {
+		t.Errorf("stage-out per task %v, want >1s under contention", res.StageOutPerTask)
+	}
+	if len(res.SharedSeries.Points) == 0 {
+		t.Error("no occupancy timeline recorded")
+	}
+}
+
+func TestHandoffLocalityAcrossPolicies(t *testing.T) {
+	run := func(p spec.PlacementPolicy) StagingRepResult {
+		return RunHandoff(HandoffConfig{
+			Nodes: 4, Stages: 3, Width: 448, Bytes: 2 * data.GB,
+			Policy: p, TaskSeconds: 2, Seed: 9,
+		})
+	}
+	pack := run(spec.PlacePack)
+	aware := run(spec.PlaceDataAware)
+	t.Logf("pack:  makespan=%.1fs moved=%dGB hit=%.2f", pack.Makespan.Seconds(), pack.BytesMoved>>30, pack.HitRate)
+	t.Logf("aware: makespan=%.1fs moved=%dGB hit=%.2f", aware.Makespan.Seconds(), aware.BytesMoved>>30, aware.HitRate)
+	if pack.Failed+aware.Failed > 0 {
+		t.Fatalf("failed tasks: pack=%d aware=%d", pack.Failed, aware.Failed)
+	}
+	if aware.HitRate <= pack.HitRate {
+		t.Errorf("data-aware hit rate %.3f not above pack %.3f", aware.HitRate, pack.HitRate)
+	}
+	if aware.BytesMoved >= pack.BytesMoved {
+		t.Errorf("data-aware moved %d, pack %d", aware.BytesMoved, pack.BytesMoved)
+	}
+	if aware.Makespan >= pack.Makespan {
+		t.Errorf("data-aware makespan %v not below pack %v", aware.Makespan, pack.Makespan)
+	}
+	// Route breakdown must attribute handoff reads to the shared FS.
+	if pack.Summary.BytesByRoute["sharedfs→nvme"] <= aware.Summary.BytesByRoute["sharedfs→nvme"] {
+		t.Error("locality should cut sharedfs→nvme traffic")
+	}
+}

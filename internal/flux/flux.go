@@ -299,25 +299,21 @@ func (in *Instance) cycle() {
 		return
 	}
 	in.refillTokens()
-	scanned := 0
-	i := 0
 	blocked := false
-	for i < len(in.queue) && in.tokens >= 1 && scanned <= in.params.BackfillDepth {
-		r := in.queue[i]
-		pl := in.plc.Place(in.eng.Now(), r.TD)
+	for in.tokens >= 1 && len(in.queue) > 0 {
+		// Selection: data-affinity first, then FCFS, then a bounded
+		// backfill window past a blocked head (FCFS + backfill policy).
+		idx, pl := in.plc.NextRequest(in.eng.Now(), in.queue, in.params.BackfillDepth)
 		if pl == nil {
-			// Head-of-line blocked: backfill scans a bounded window
-			// past it (FCFS + backfill policy).
-			i++
-			scanned++
 			blocked = true
-			continue
+			break
 		}
-		in.queue = append(in.queue[:i], in.queue[i+1:]...)
+		r := in.queue[idx]
+		in.queue = append(in.queue[:idx], in.queue[idx+1:]...)
 		in.tokens--
 		in.launch(r, pl)
 	}
-	if len(in.queue) == 0 || blocked && in.tokens >= 1 {
+	if len(in.queue) == 0 || blocked {
 		// Either drained, or resource-blocked: completions re-kick.
 		return
 	}

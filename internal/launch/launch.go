@@ -29,6 +29,17 @@ type Request struct {
 	// and coupled tasks that block on inference responses mid-run — use
 	// it; plain tasks leave it nil.
 	Body func(start sim.Time, done func())
+	// Prefer, when set, returns node IDs the placer should try first, in
+	// order — the agent's data-aware scheduler returns the nodes holding
+	// (or currently receiving) the task's input datasets. It is a
+	// function, not a slice, because placement can happen long after
+	// submission (backend queues): the preference must reflect the
+	// registry at placement time, not at dispatch time.
+	Prefer func() []int
+	// OnPlaced fires when a backend claims concrete slots for the
+	// request, before the process starts, with the chosen node IDs. The
+	// agent's data movers use it to direct node-local staging.
+	OnPlaced func(at sim.Time, nodeIDs []int)
 }
 
 // StartBody runs the task's process body at the current time: Body when
@@ -108,14 +119,142 @@ func (p *Placer) Partition() *platform.Allocation { return p.part }
 // partition currently lacks capacity (the caller re-tries when slots free).
 func (p *Placer) Place(at sim.Time, td *spec.TaskDescription) *platform.Placement {
 	if td.MultiNode() {
-		return p.placeMultiNode(at, td)
+		return p.placeMultiNode(at, td, nil)
 	}
-	return p.placeSingleNode(at, td)
+	return p.placeSingleNode(at, td, nil)
 }
 
-func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription) *platform.Placement {
+// PlaceRequest places a launch request: the request's preferred nodes
+// (data-aware scheduling hints) are tried in listed order before the
+// default policy, and on success the request's OnPlaced hook fires with
+// the chosen node IDs. Backends call this instead of Place so placement
+// stays a single code path across runtime systems.
+func (p *Placer) PlaceRequest(at sim.Time, r *Request) *platform.Placement {
+	var prefer []int
+	if r.Prefer != nil {
+		prefer = r.Prefer()
+	}
+	var pl *platform.Placement
+	if r.TD.MultiNode() {
+		pl = p.placeMultiNode(at, r.TD, prefer)
+	} else {
+		pl = p.placeSingleNode(at, r.TD, prefer)
+	}
+	if pl != nil && r.OnPlaced != nil {
+		r.OnPlaced(at, append([]int(nil), pl.NodeIDs...))
+	}
+	return pl
+}
+
+// affinityWindow bounds how far past the queue head the data-aware
+// selection pass looks for a task whose preferred nodes have capacity.
+const affinityWindow = 128
+
+// NextRequest selects which queued request a backend should place next,
+// returning its queue index and claimed placement, or (-1, nil) when
+// nothing can place. Selection runs in three passes:
+//
+//  1. Affinity (delay scheduling): the first request within the window
+//     whose preferred nodes can host it right now wins, even over older
+//     queue entries — when a slot frees on a node, the task whose data
+//     already sits there takes it.
+//  2. FCFS: the head request places by the default policy.
+//  3. Backfill: up to backfill requests past a blocked head may place
+//     (Flux's bounded backfill; zero keeps strict head-of-line order for
+//     srun/Dragon/PRRTE).
+//
+// Requests without preferences see exactly the legacy FCFS(+backfill)
+// behavior, so locality-blind workloads are byte-for-byte unchanged.
+func (p *Placer) NextRequest(at sim.Time, queue []*Request, backfill int) (int, *platform.Placement) {
+	w := affinityWindow
+	if w > len(queue) {
+		w = len(queue)
+	}
+	for i := 0; i < w; i++ {
+		r := queue[i]
+		if r.Prefer == nil || r.TD.MultiNode() {
+			continue
+		}
+		prefer := r.Prefer()
+		if len(prefer) == 0 {
+			continue
+		}
+		if pl := p.placePreferredOnly(at, r, prefer); pl != nil {
+			if r.OnPlaced != nil {
+				r.OnPlaced(at, append([]int(nil), pl.NodeIDs...))
+			}
+			return i, pl
+		}
+	}
+	n := 1 + backfill
+	if n > len(queue) {
+		n = len(queue)
+	}
+	for i := 0; i < n; i++ {
+		if pl := p.PlaceRequest(at, queue[i]); pl != nil {
+			return i, pl
+		}
+	}
+	return -1, nil
+}
+
+// placePreferredOnly claims the first hinted node with capacity, without
+// falling back to the ring policy.
+func (p *Placer) placePreferredOnly(at sim.Time, r *Request, prefer []int) *platform.Placement {
+	cores := r.TD.TotalCores()
+	gpus := r.TD.TotalGPUs()
+	for _, id := range prefer {
+		node := p.preferredNode(id, cores, gpus)
+		if node == nil {
+			continue
+		}
+		pl := &platform.Placement{
+			NodeIDs:  []int{node.ID},
+			CPUSlots: []int{cores},
+			GPUSlots: []int{gpus},
+		}
+		if err := p.part.Claim(at, pl); err != nil {
+			panic(fmt.Sprintf("launch: claim after fit check failed: %v", err))
+		}
+		return pl
+	}
+	return nil
+}
+
+// preferredNode resolves a hinted node ID to a partition node with enough
+// free capacity, nil otherwise.
+func (p *Placer) preferredNode(id, cores, gpus int) *platform.Node {
+	for _, node := range p.part.Nodes {
+		if node.ID == id {
+			if node.FreeCPU() >= cores && node.FreeGPU() >= gpus {
+				return node
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription, prefer []int) *platform.Placement {
 	cores := td.TotalCores()
 	gpus := td.TotalGPUs()
+	// Preference pass: claim the first hinted node that fits, leaving the
+	// ring cursor untouched so non-hinted traffic keeps its packing order.
+	for _, id := range prefer {
+		node := p.preferredNode(id, cores, gpus)
+		if node == nil {
+			continue
+		}
+		pl := &platform.Placement{
+			NodeIDs:  []int{node.ID},
+			CPUSlots: []int{cores},
+			GPUSlots: []int{gpus},
+		}
+		if err := p.part.Claim(at, pl); err != nil {
+			panic(fmt.Sprintf("launch: claim after fit check failed: %v", err))
+		}
+		return pl
+	}
 	n := len(p.part.Nodes)
 	for i := 0; i < n; i++ {
 		node := p.part.Nodes[(p.cursor+i)%n]
@@ -140,7 +279,7 @@ func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription) *platfor
 	return nil
 }
 
-func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription) *platform.Placement {
+func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription, prefer []int) *platform.Placement {
 	want := td.Nodes
 	spec := p.part.Cluster.Spec
 	// Per-node footprint: ranks spread evenly across nodes.
@@ -159,12 +298,28 @@ func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription) *platform
 		panic(fmt.Sprintf("launch: task %s per-node footprint (%d cores, %d gpus) exceeds node", td.UID, coresPerNode, gpusPerNode))
 	}
 	var ids []int
+	taken := make(map[int]bool)
+	for _, id := range prefer {
+		if len(ids) == want {
+			break
+		}
+		if taken[id] {
+			continue
+		}
+		if node := p.preferredNode(id, coresPerNode, gpusPerNode); node != nil {
+			ids = append(ids, node.ID)
+			taken[node.ID] = true
+		}
+	}
 	for _, node := range p.part.Nodes {
+		if len(ids) == want {
+			break
+		}
+		if taken[node.ID] {
+			continue
+		}
 		if node.FreeCPU() >= coresPerNode && node.FreeGPU() >= gpusPerNode {
 			ids = append(ids, node.ID)
-			if len(ids) == want {
-				break
-			}
 		}
 	}
 	if len(ids) < want {

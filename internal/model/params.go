@@ -203,6 +203,53 @@ type ServiceParams struct {
 	DispatchOverhead float64
 }
 
+// Data holds the storage-hierarchy parameters of the data-staging
+// subsystem (DESIGN.md "Data model & calibration"). Bandwidths are in
+// bytes/s, latencies in seconds.
+type DataParams struct {
+	// NVMeBandwidth is the per-node local-SSD bandwidth. Each node owns a
+	// private channel of this capacity; concurrent transfers on one node
+	// share it fairly.
+	NVMeBandwidth float64
+	// NVMeLatency is the per-transfer setup cost on the local tier.
+	NVMeLatency float64
+	// SharedFSBase and SharedFSPerNode shape the aggregate parallel-FS
+	// bandwidth visible to an n-node allocation:
+	// B(n) = SharedFSBase + SharedFSPerNode*n. The per-node term models
+	// the striped-OST share growing with the client count, the base term
+	// the minimum striping any job sees.
+	SharedFSBase    float64
+	SharedFSPerNode float64
+	// SharedFSLatency is the per-transfer metadata/open cost on the PFS.
+	SharedFSLatency float64
+	// BurstBufferPerNode is the aggregate burst-buffer bandwidth per
+	// allocation node; zero disables the tier.
+	BurstBufferPerNode float64
+	// BurstBufferLatency is the per-transfer setup cost on the buffer.
+	BurstBufferLatency float64
+}
+
+// SharedFSBandwidth returns the aggregate parallel-FS bandwidth for an
+// n-node allocation.
+func (p DataParams) SharedFSBandwidth(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return p.SharedFSBase + p.SharedFSPerNode*float64(n)
+}
+
+// BurstBufferBandwidth returns the aggregate burst-buffer bandwidth for an
+// n-node allocation (zero = tier disabled).
+func (p DataParams) BurstBufferBandwidth(n int) float64 {
+	if p.BurstBufferPerNode <= 0 {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	return p.BurstBufferPerNode * float64(n)
+}
+
 // Params bundles all model constants.
 type Params struct {
 	Srun    SrunParams
@@ -210,6 +257,7 @@ type Params struct {
 	Dragon  DragonParams
 	RP      RPParams
 	Service ServiceParams
+	Data    DataParams
 }
 
 // Default returns the calibrated parameter set. EXPERIMENTS.md records the
@@ -265,6 +313,15 @@ func Default() Params {
 		Service: ServiceParams{
 			RPCLatency:       0.0005,
 			DispatchOverhead: 0.0008,
+		},
+		Data: DataParams{
+			NVMeBandwidth:      5e9, // ~5 GB/s sequential, one enterprise NVMe drive
+			NVMeLatency:        0.0002,
+			SharedFSBase:       10e9, // minimum striped share of the site PFS
+			SharedFSPerNode:    2e9,  // per-client scaling until OSTs saturate
+			SharedFSLatency:    0.010,
+			BurstBufferPerNode: 4e9, // node-attached flash aggregated per job
+			BurstBufferLatency: 0.001,
 		},
 	}
 }

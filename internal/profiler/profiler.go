@@ -47,6 +47,19 @@ type TaskTrace struct {
 	ServiceRequests int
 	ServiceFailed   int
 	ServiceWait     sim.Duration
+	// BytesIn / BytesOut are the bytes the data subsystem actually moved
+	// for the task (locality hits move nothing). StageIn / StageOut are
+	// the wall times the task spent staging — StageIn on the compute node
+	// before its body ran, StageOut writing outputs after it.
+	BytesIn  int64
+	BytesOut int64
+	StageIn  sim.Duration
+	StageOut sim.Duration
+	// DataHits counts input datasets found already at their destination
+	// tier (or on the placement node); DataMisses counts the ones that
+	// needed a transfer.
+	DataHits   int
+	DataMisses int
 }
 
 const unset = sim.Time(-1)
@@ -97,6 +110,31 @@ func (r *RequestTrace) Latency() sim.Duration { return r.Done.Sub(r.Issued) }
 // QueueWait returns issue→dispatch, the time spent queued and batching.
 func (r *RequestTrace) QueueWait() sim.Duration { return r.Dispatched.Sub(r.Issued) }
 
+// TransferTrace is the compact per-transfer record of the data subsystem:
+// one contention-modelled movement of one dataset between two storage
+// locations. Traces append in completion order, which is deterministic for
+// a fixed seed.
+type TransferTrace struct {
+	// Dataset is the dataset name; Task the staging task's UID (empty
+	// for transfers outside any task).
+	Dataset string
+	Task    string
+	// Bytes is the transferred size.
+	Bytes int64
+	// Src and Dst name the endpoints (e.g. "sharedfs", "nvme:12").
+	Src string
+	Dst string
+	// Node is the compute node involved, -1 for tier-to-tier transfers.
+	Node int
+	// Start is when the transfer entered its channels (after setup
+	// latency); End when the last byte arrived.
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the transfer's time in the channels.
+func (t *TransferTrace) Duration() sim.Duration { return t.End.Sub(t.Start) }
+
 // Event is one record in the full event log.
 type Event struct {
 	Time   sim.Time
@@ -115,7 +153,8 @@ type Profiler struct {
 	RecordEvents bool
 	events       []Event
 
-	requests []RequestTrace
+	requests  []RequestTrace
+	transfers []TransferTrace
 }
 
 // New returns an empty profiler.
@@ -154,6 +193,25 @@ func (p *Profiler) RequestsFor(service string) []RequestTrace {
 	for _, r := range p.requests {
 		if r.Service == service {
 			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Transfer appends one completed data-transfer trace.
+func (p *Profiler) Transfer(tt TransferTrace) {
+	p.transfers = append(p.transfers, tt)
+}
+
+// Transfers returns all transfer traces in completion order.
+func (p *Profiler) Transfers() []TransferTrace { return p.transfers }
+
+// TransfersFor returns the transfer traces of one dataset.
+func (p *Profiler) TransfersFor(dataset string) []TransferTrace {
+	var out []TransferTrace
+	for _, t := range p.transfers {
+		if t.Dataset == dataset {
+			out = append(out, t)
 		}
 	}
 	return out

@@ -239,12 +239,12 @@ func (d *DVM) pump() {
 		return
 	}
 	for len(d.queue) > 0 {
-		r := d.queue[0]
-		pl := d.plc.Place(d.eng.Now(), r.TD)
+		idx, pl := d.plc.NextRequest(d.eng.Now(), d.queue, 0)
 		if pl == nil {
 			return
 		}
-		d.queue = d.queue[1:]
+		r := d.queue[idx]
+		d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
 		d.launcher.Submit(&dvmLaunch{r: r, pl: pl})
 	}
 }

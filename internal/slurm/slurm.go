@@ -179,16 +179,18 @@ func (s *SrunLauncher) fail(r *launch.Request, reason string) {
 	s.eng.Immediately(func() { r.OnComplete(at, true, reason) })
 }
 
-// pump places queued tasks FCFS and hands them to srun. Placement is
-// head-of-line blocking, like RP's default continuous scheduler.
+// pump places queued tasks and hands them to srun. Placement is FCFS with
+// head-of-line blocking, like RP's default continuous scheduler — except
+// that tasks whose input data already sits on a free node may jump the
+// queue (the shared placer's data-aware affinity pass).
 func (s *SrunLauncher) pump() {
 	for len(s.queue) > 0 {
-		r := s.queue[0]
-		pl := s.plc.Place(s.eng.Now(), r.TD)
+		idx, pl := s.plc.NextRequest(s.eng.Now(), s.queue, 0)
 		if pl == nil {
 			return
 		}
-		s.queue = s.queue[1:]
+		r := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 		s.launch(r, pl)
 	}
 }

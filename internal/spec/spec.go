@@ -90,6 +90,73 @@ func (c Coupling) String() string {
 	}
 }
 
+// StageTier names a level of the simulated storage hierarchy. The zero
+// value is the shared parallel file system, the tier every dataset can
+// always reach.
+type StageTier int
+
+const (
+	// TierSharedFS is the site-wide parallel file system (Lustre/Orion):
+	// large aggregate bandwidth shared by every node of the allocation.
+	TierSharedFS StageTier = iota
+	// TierNodeLocal is per-node NVMe: private bandwidth, but data staged
+	// there is visible only to tasks placed on that node.
+	TierNodeLocal
+	// TierBurstBuffer is an optional intermediate flash tier shared by
+	// the allocation (zero bandwidth in the model disables it).
+	TierBurstBuffer
+)
+
+func (t StageTier) String() string {
+	switch t {
+	case TierSharedFS:
+		return "sharedfs"
+	case TierNodeLocal:
+		return "nodelocal"
+	case TierBurstBuffer:
+		return "burstbuffer"
+	default:
+		return fmt.Sprintf("StageTier(%d)", int(t))
+	}
+}
+
+func (t StageTier) valid() bool {
+	return t == TierSharedFS || t == TierNodeLocal || t == TierBurstBuffer
+}
+
+// StagingDirective names one dataset a task consumes or produces and where
+// it must live. Sized directives replace the legacy flat per-file staging
+// cost: transfers run through the data subsystem's shared-bandwidth
+// channels, so staging time depends on size, tier, and concurrent traffic.
+type StagingDirective struct {
+	// Dataset identifies the data; tasks naming the same dataset share
+	// replicas (and locality) through the placement registry.
+	Dataset string
+	// SizeBytes is the dataset size.
+	SizeBytes int64
+	// Source is where an input currently lives. Outputs originate on the
+	// producing node and ignore Source.
+	Source StageTier
+	// Dest is where an input must be staged before compute starts, or
+	// the tier an output is written to.
+	Dest StageTier
+}
+
+// Validate checks constraints common to input and output directives.
+// Input-only constraints are enforced by TaskDescription.Validate.
+func (d *StagingDirective) Validate() error {
+	if d.Dataset == "" {
+		return fmt.Errorf("spec: staging directive without dataset name")
+	}
+	if d.SizeBytes < 0 {
+		return fmt.Errorf("spec: dataset %q has negative size", d.Dataset)
+	}
+	if !d.Source.valid() || !d.Dest.valid() {
+		return fmt.Errorf("spec: dataset %q names an invalid tier", d.Dataset)
+	}
+	return nil
+}
+
 // TaskDescription is what a user or workflow system submits.
 type TaskDescription struct {
 	// UID identifies the task; empty UIDs are assigned by the task
@@ -112,9 +179,16 @@ type TaskDescription struct {
 	// workloads use zero; dummy workloads use the sleep duration.
 	Duration sim.Duration
 	// InputFiles / OutputFiles are counts of files to stage; staging cost
-	// is per file.
+	// is per file. This is the legacy flat-cost path, used only when the
+	// task carries no sized staging directives.
 	InputFiles  int
 	OutputFiles int
+	// InputData / OutputData are sized, named-dataset staging directives
+	// handled by the data subsystem: contention-aware transfers through
+	// the storage hierarchy, locality tracking, and data-aware placement.
+	// When set, they take precedence over InputFiles/OutputFiles.
+	InputData  []StagingDirective
+	OutputData []StagingDirective
 	// Backend pins the task to a runtime system; BackendAuto routes by
 	// kind.
 	Backend Backend
@@ -163,6 +237,13 @@ func (t *TaskDescription) TotalGPUs() int {
 // MultiNode reports whether the task needs co-scheduled whole nodes.
 func (t *TaskDescription) MultiNode() bool { return t.Nodes > 1 }
 
+// HasStaging reports whether the task carries sized staging directives
+// (and therefore routes through the data subsystem instead of the legacy
+// flat-cost stagers).
+func (t *TaskDescription) HasStaging() bool {
+	return len(t.InputData) > 0 || len(t.OutputData) > 0
+}
+
 // Validate checks the description for inconsistencies.
 func (t *TaskDescription) Validate(slotsPerNode, gpusPerNode int) error {
 	if t.Ranks < 0 || t.CoresPerRank < 0 || t.GPUsPerRank < 0 || t.Nodes < 0 {
@@ -183,6 +264,20 @@ func (t *TaskDescription) Validate(slotsPerNode, gpusPerNode int) error {
 	}
 	if t.Kind == Function && t.MultiNode() {
 		return fmt.Errorf("spec: function task %q cannot span nodes", t.UID)
+	}
+	for i := range t.InputData {
+		if err := t.InputData[i].Validate(); err != nil {
+			return fmt.Errorf("task %q input %d: %w", t.UID, i, err)
+		}
+		if t.InputData[i].Source == TierNodeLocal {
+			return fmt.Errorf("task %q input %d: spec: dataset %q: inputs cannot source from node-local storage (no node binding at submit time)",
+				t.UID, i, t.InputData[i].Dataset)
+		}
+	}
+	for i := range t.OutputData {
+		if err := t.OutputData[i].Validate(); err != nil {
+			return fmt.Errorf("task %q output %d: %w", t.UID, i, err)
+		}
 	}
 	if len(t.Requests) > 0 {
 		if t.Service {
@@ -212,6 +307,31 @@ type PartitionConfig struct {
 	NodeShare float64
 }
 
+// PlacementPolicy selects how backends pick nodes for tasks.
+type PlacementPolicy int
+
+const (
+	// PlacePack is the legacy locality-blind policy: a ring cursor packs
+	// single-node tasks, multi-node tasks take the first free nodes.
+	PlacePack PlacementPolicy = iota
+	// PlaceDataAware prefers nodes that already hold a task's node-local
+	// input datasets (most bytes held first, lowest node ID breaking
+	// ties), falling back to PlacePack when no replica exists or the
+	// preferred nodes are full.
+	PlaceDataAware
+)
+
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlacePack:
+		return "pack"
+	case PlaceDataAware:
+		return "data-aware"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
 // PilotDescription requests a resource allocation and its runtime layout.
 type PilotDescription struct {
 	// UID identifies the pilot.
@@ -225,6 +345,9 @@ type PilotDescription struct {
 	// Partitions lays out backend instances. Empty defaults to a single
 	// srun executor over the whole allocation (RP's default executor).
 	Partitions []PartitionConfig
+	// Placement selects the node-placement policy for the pilot's
+	// backends; the zero value keeps the legacy pack policy.
+	Placement PlacementPolicy
 }
 
 // Validate checks the pilot description.

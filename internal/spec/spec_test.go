@@ -40,6 +40,18 @@ func TestTaskValidation(t *testing.T) {
 		{"too many gpus for one node", TaskDescription{Ranks: 9, GPUsPerRank: 1}, false},
 		{"multi-node ok", TaskDescription{Nodes: 4, Ranks: 8, CoresPerRank: 7}, true},
 		{"multi-node function", TaskDescription{Kind: Function, Nodes: 2, Ranks: 2}, false},
+		{"staged input", TaskDescription{CoresPerRank: 1, Ranks: 1,
+			InputData: []StagingDirective{{Dataset: "w", SizeBytes: 1 << 30, Dest: TierNodeLocal}}}, true},
+		{"unnamed dataset", TaskDescription{CoresPerRank: 1, Ranks: 1,
+			InputData: []StagingDirective{{SizeBytes: 1}}}, false},
+		{"negative dataset size", TaskDescription{CoresPerRank: 1, Ranks: 1,
+			OutputData: []StagingDirective{{Dataset: "o", SizeBytes: -1}}}, false},
+		{"node-local source", TaskDescription{CoresPerRank: 1, Ranks: 1,
+			InputData: []StagingDirective{{Dataset: "w", Source: TierNodeLocal}}}, false},
+		{"output ignores source", TaskDescription{CoresPerRank: 1, Ranks: 1,
+			OutputData: []StagingDirective{{Dataset: "o", SizeBytes: 1, Source: TierNodeLocal, Dest: TierSharedFS}}}, true},
+		{"invalid tier", TaskDescription{CoresPerRank: 1, Ranks: 1,
+			OutputData: []StagingDirective{{Dataset: "o", Dest: StageTier(9)}}}, false},
 	}
 	for _, c := range cases {
 		err := c.td.Validate(56, 8)

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+)
+
+func TestTrainingFanoutShape(t *testing.T) {
+	tds := TrainingFanout(4, 3, 1<<30, sim.Second)
+	if len(tds) != 12 {
+		t.Fatalf("len = %d", len(tds))
+	}
+	seen := map[string]int{}
+	for i, td := range tds {
+		if len(td.InputData) != 1 {
+			t.Fatalf("task %d has %d input directives", i, len(td.InputData))
+		}
+		d := td.InputData[0]
+		if d.Source != spec.TierSharedFS || d.Dest != spec.TierNodeLocal {
+			t.Errorf("task %d tiers = %v→%v", i, d.Source, d.Dest)
+		}
+		seen[d.Dataset]++
+		if err := td.Validate(56, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("distinct shards = %d, want 4", len(seen))
+	}
+	for ds, n := range seen {
+		if n != 3 {
+			t.Errorf("shard %s read %d times, want 3", ds, n)
+		}
+	}
+	// Interleaved: consecutive tasks use different shards.
+	if tds[0].InputData[0].Dataset == tds[1].InputData[0].Dataset {
+		t.Error("tasks not interleaved across shards")
+	}
+}
+
+func TestCheckpointWritersShape(t *testing.T) {
+	tds := CheckpointWriters(5, sim.Second, 1<<28, spec.TierSharedFS)
+	names := map[string]bool{}
+	for _, td := range tds {
+		if len(td.OutputData) != 1 || len(td.InputData) != 0 {
+			t.Fatalf("directives: in=%d out=%d", len(td.InputData), len(td.OutputData))
+		}
+		names[td.OutputData[0].Dataset] = true
+	}
+	if len(names) != 5 {
+		t.Errorf("checkpoints must be private per writer: %d distinct", len(names))
+	}
+}
+
+func TestHandoffIsBijectivePerStage(t *testing.T) {
+	for _, width := range []int{7, 16, 448} {
+		batches := Handoff(3, width, 1<<20, sim.Second)
+		if len(batches) != 3 {
+			t.Fatalf("stages = %d", len(batches))
+		}
+		if len(batches[0][0].InputData) != 0 {
+			t.Error("stage 0 must not consume")
+		}
+		if len(batches[2][0].OutputData) != 0 {
+			t.Error("last stage must not produce")
+		}
+		for s := 1; s < 3; s++ {
+			consumed := map[string]int{}
+			for _, td := range batches[s] {
+				consumed[td.InputData[0].Dataset]++
+			}
+			if len(consumed) != width {
+				t.Errorf("width %d stage %d: %d distinct datasets consumed, want %d (shuffle must be a bijection)",
+					width, s, len(consumed), width)
+			}
+			// The shuffle must not be the identity (that would fake
+			// locality through accidental slot alignment).
+			identity := 0
+			for i, td := range batches[s] {
+				if td.InputData[0].Dataset == batches[s-1][i].OutputData[0].Dataset {
+					identity++
+				}
+			}
+			if identity > width/4 {
+				t.Errorf("width %d stage %d: %d/%d consumers aligned with producer index", width, s, identity, width)
+			}
+		}
+	}
+}

@@ -87,6 +87,45 @@ type ScaleEvent = service.ScaleEvent
 // RequestTrace is the per-request record (issue → dispatch → response).
 type RequestTrace = profiler.RequestTrace
 
+// StagingDirective names a dataset a task consumes or produces and the
+// storage tiers involved; sized directives route through the data-staging
+// subsystem's contention-modelled channels.
+type StagingDirective = spec.StagingDirective
+
+// StageTier names a level of the storage hierarchy.
+type StageTier = spec.StageTier
+
+// Storage tiers.
+const (
+	TierSharedFS    = spec.TierSharedFS
+	TierNodeLocal   = spec.TierNodeLocal
+	TierBurstBuffer = spec.TierBurstBuffer
+)
+
+// PlacementPolicy selects how backends pick nodes for tasks.
+type PlacementPolicy = spec.PlacementPolicy
+
+// Placement policies.
+const (
+	// PlacePack is the legacy locality-blind packing policy.
+	PlacePack = spec.PlacePack
+	// PlaceDataAware prefers nodes already holding a task's inputs.
+	PlaceDataAware = spec.PlaceDataAware
+)
+
+// TransferTrace is the per-transfer record of the data subsystem.
+type TransferTrace = profiler.TransferTrace
+
+// DataSummary aggregates bytes moved per route, locality hit rate, and
+// staging wall time for one run.
+type DataSummary = metrics.DataSummary
+
+// SummarizeData derives the data summary from a session's task and
+// transfer traces.
+func SummarizeData(tasks []*profiler.TaskTrace, transfers []TransferTrace) DataSummary {
+	return metrics.SummarizeData(tasks, transfers)
+}
+
 // LatencySummary reports p50/p95/p99 latency percentiles in seconds.
 type LatencySummary = metrics.LatencySummary
 
