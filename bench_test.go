@@ -156,6 +156,14 @@ func BenchmarkFig8ImpeccableFlux1024(b *testing.B) {
 	benchImpeccable(b, 1024, spec.BackendFlux)
 }
 
+// BenchmarkFig8ImpeccableFlux4096 runs the campaign at 4× the paper's
+// largest scale — the O(10k)-task regime the allocation-lean engine,
+// indexed placer, and ring queues exist for. Before the rewrite this cell
+// was minutes of wall clock; it must stay in the seconds range.
+func BenchmarkFig8ImpeccableFlux4096(b *testing.B) {
+	benchImpeccable(b, 4096, spec.BackendFlux)
+}
+
 func benchImpeccable(b *testing.B, nodes int, backend spec.Backend) {
 	var res experiments.ImpeccableResult
 	for i := 0; i < b.N; i++ {

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	go test -bench . -benchtime 1x -benchmem -run '^$' . | go run ./cmd/benchjson -out BENCH.json
+//	go run ./cmd/benchjson diff [-max-regress 15] [-gate Name1,Name2] OLD.json NEW.json
+//
+// The diff subcommand prints per-benchmark % deltas of ns/op and
+// allocs/op (negative = improvement). With -gate it exits non-zero when
+// any gated benchmark regressed by more than -max-regress percent on
+// either metric — the CI performance ratchet.
 package main
 
 import (
@@ -12,7 +18,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,6 +42,10 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		diffMain(os.Args[2:])
+		return
+	}
 	out := flag.String("out", "", "output path (default stdout)")
 	flag.Parse()
 
@@ -65,6 +77,115 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// diffMetrics are the metrics the diff table and the gate look at.
+var diffMetrics = []string{"ns/op", "allocs/op"}
+
+// diffMain implements `benchjson diff old.json new.json`.
+func diffMain(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	maxRegress := fs.Float64("max-regress", 15, "max allowed % regression on gated benchmarks")
+	gate := fs.String("gate", "", "comma-separated benchmark names to gate (empty = report only)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-max-regress PCT] [-gate Name1,Name2] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old := loadReport(fs.Arg(0))
+	new_ := loadReport(fs.Arg(1))
+
+	gated := map[string]bool{}
+	for _, g := range strings.Split(*gate, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gated[g] = true
+		}
+	}
+
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	names := make([]string, 0, len(new_.Benchmarks))
+	newBy := map[string]Benchmark{}
+	for _, b := range new_.Benchmarks {
+		newBy[b.Name] = b
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-34s %14s %14s %9s   %14s %14s %9s\n",
+		"benchmark", "ns/op old", "ns/op new", "Δ%", "allocs old", "allocs new", "Δ%")
+	failed := []string{}
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-34s %s\n", name, "(new benchmark)")
+			if gated[name] {
+				fmt.Fprintf(os.Stderr, "benchjson: gated benchmark %q missing from %s\n", name, fs.Arg(0))
+				failed = append(failed, name)
+			}
+			continue
+		}
+		row := fmt.Sprintf("%-34s", name)
+		regressed := false
+		for _, m := range diffMetrics {
+			ov, nv := ob.Metrics[m], nb.Metrics[m]
+			var delta float64
+			switch {
+			case ov > 0:
+				delta = (nv - ov) / ov * 100
+			case nv > 0:
+				// A zero baseline that grew is an unbounded regression
+				// (0 allocs/op → any allocs/op must trip the gate).
+				delta = math.Inf(1)
+			}
+			row += fmt.Sprintf(" %14.0f %14.0f %+8.1f%%", ov, nv, delta)
+			if m == "ns/op" {
+				row += "  "
+			}
+			if gated[name] && delta > *maxRegress {
+				regressed = true
+			}
+		}
+		marker := ""
+		if gated[name] {
+			marker = "  [gate]"
+			if regressed {
+				marker = "  [gate FAILED]"
+				failed = append(failed, name)
+			}
+		}
+		fmt.Println(row + marker)
+	}
+	for g := range gated {
+		if _, ok := newBy[g]; !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gated benchmark %q missing from %s\n", g, fs.Arg(1))
+			failed = append(failed, g)
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) regressed >%.0f%%: %s\n",
+			len(failed), *maxRegress, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}
+
+func loadReport(path string) Report {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return r
 }
 
 // parseLine parses one `Benchmark<Name>-P  N  v1 u1  v2 u2 ...` line.

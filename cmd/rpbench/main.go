@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	rpbench [-full] [-reps N] [-seed S] [-only table1|fig4|fig5|fig6|fig7|fig8|claims]
+//	rpbench [-full] [-reps N] [-seed S] [-parallel N] [-only table1|fig4|fig5|fig6|fig7|fig8|claims]
 //
 // Without -only it runs the complete suite. -full includes the 1024-node
 // throughput sweeps (slower); Fig 8 and the claims always run the paper's
-// 256- and 1024-node campaign configurations.
+// 256- and 1024-node campaign configurations. -parallel runs independent
+// experiment cells on N workers; output is identical to the serial run
+// (cells derive their seeds from grid position, results are folded in
+// cell order).
 package main
 
 import (
@@ -24,9 +27,11 @@ func main() {
 	full := flag.Bool("full", false, "include 1024-node throughput sweeps")
 	reps := flag.Int("reps", 3, "repetitions per throughput cell")
 	seed := flag.Uint64("seed", 20250916, "base RNG seed")
+	parallel := flag.Int("parallel", 1, "worker count for independent experiment cells")
 	only := flag.String("only", "", "run a single artifact: table1, fig4, fig5, fig6, fig7, fig8, claims")
 	flag.Parse()
 
+	experiments.SetParallelism(*parallel)
 	sc := experiments.SuiteConfig{Seed: *seed, Reps: *reps, Full: *full}
 
 	artifacts := []struct {

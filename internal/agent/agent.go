@@ -99,6 +99,9 @@ type Agent struct {
 	// sm manages deployed inference-service endpoints (lazily created).
 	sm *ServiceManager
 
+	// notifyDoneFn is the prebound notifyDone, shared by every finish.
+	notifyDoneFn func(any)
+
 	// Counters.
 	nSubmitted int
 	nFinal     int
@@ -138,6 +141,7 @@ func New(desc spec.PilotDescription, eng *sim.Engine, ctrl *slurm.Controller,
 		src:    src,
 		desc:   desc,
 	}
+	a.notifyDoneFn = a.notifyDone
 	// Stagers run multiple concurrent instances (stacked boxes in Fig 1).
 	stream := src.Stream("agent.stagers")
 	a.stagerIn = sim.NewServer(eng, 4, func(t *Task) sim.Duration {
@@ -424,6 +428,39 @@ func (a *Agent) dispatch(g *executorGroup, t *Task) {
 	g.submitter.Submit(t)
 }
 
+// dispatchRec binds one backend dispatch attempt of a task. It embeds the
+// launch request and implements launch.Events, so a dispatch costs one
+// allocation in place of a request plus two callback closures — the
+// agent→backend hand-off is the hottest object on the task path.
+type dispatchRec struct {
+	a   *Agent
+	g   *executorGroup
+	t   *Task
+	idx int
+	req launch.Request
+}
+
+// OnStart implements launch.Events.
+func (d *dispatchRec) OnStart(at sim.Time) {
+	a, t := d.a, d.t
+	a.transition(t, states.TaskRunning)
+	t.Trace.Start = at
+	t.Trace.Cores = t.TD.TotalCores()
+	t.Trace.GPUs = t.TD.TotalGPUs()
+	if t.TD.Service && !t.serviceStarted {
+		t.serviceStarted = true
+		a.noteServiceStart()
+	}
+}
+
+// OnComplete implements launch.Events.
+func (d *dispatchRec) OnComplete(at sim.Time, failed bool, reason string) {
+	if d.idx < len(d.g.inflight) {
+		d.g.inflight[d.idx]--
+	}
+	d.a.completed(d.g, d.t, at, failed, reason)
+}
+
 // forward hands a serialized task to the least-loaded live instance (late
 // binding: the choice happens at submission time, not at scheduling time).
 func (a *Agent) forward(g *executorGroup, t *Task) {
@@ -441,40 +478,23 @@ func (a *Agent) forward(g *executorGroup, t *Task) {
 	if body == nil && len(t.TD.Requests) > 0 {
 		body = a.coupledBody(t)
 	}
-	var prefer func() []int
-	var placed []int
-	var onPlaced func(at sim.Time, nodeIDs []int)
+	rec := &dispatchRec{a: a, g: g, t: t, idx: idx}
+	rec.req = launch.Request{
+		UID:    t.TD.UID,
+		TD:     t.TD,
+		Body:   body,
+		Events: rec,
+	}
 	if t.TD.HasStaging() {
 		// Late-bound: backends evaluate the preference at placement
 		// time, when the registry reflects every transfer completed (or
 		// started) while the task sat in the backend queue.
-		prefer = func() []int { return a.preferNodes(t.TD) }
-		onPlaced = func(at sim.Time, nodeIDs []int) { placed = nodeIDs }
-		body = a.dataBody(t, body, &placed)
+		var placed []int
+		rec.req.Prefer = func() []int { return a.preferNodes(t.TD) }
+		rec.req.OnPlaced = func(at sim.Time, nodeIDs []int) { placed = nodeIDs }
+		rec.req.Body = a.dataBody(t, body, &placed)
 	}
-	l.Submit(&launch.Request{
-		UID:      t.TD.UID,
-		TD:       t.TD,
-		Body:     body,
-		Prefer:   prefer,
-		OnPlaced: onPlaced,
-		OnStart: func(at sim.Time) {
-			a.transition(t, states.TaskRunning)
-			t.Trace.Start = at
-			t.Trace.Cores = t.TD.TotalCores()
-			t.Trace.GPUs = t.TD.TotalGPUs()
-			if t.TD.Service && !t.serviceStarted {
-				t.serviceStarted = true
-				a.noteServiceStart()
-			}
-		},
-		OnComplete: func(at sim.Time, failed bool, reason string) {
-			if idx < len(g.inflight) {
-				g.inflight[idx]--
-			}
-			a.completed(g, t, at, failed, reason)
-		},
-	})
+	l.Submit(&rec.req)
 }
 
 // pickLauncher returns the index of the least-loaded live instance whose
@@ -558,10 +578,22 @@ func (a *Agent) finish(t *Task, st states.TaskState, reason string) {
 	t.Trace.Final = a.eng.Now()
 	a.nFinal++
 	if t.done != nil {
-		done := t.done
-		t.done = nil
-		a.eng.Immediately(func() { done(t) })
+		// The callback runs in its own engine event (like every other
+		// notification); t.done stays set until delivery so the pooled
+		// notifyDone event needs no closure.
+		a.eng.ImmediatelyCall(a.notifyDoneFn, t)
 	}
+}
+
+// notifyDone delivers a final task's done callback exactly once.
+func (a *Agent) notifyDone(arg any) {
+	t := arg.(*Task)
+	if t.done == nil {
+		return
+	}
+	done := t.done
+	t.done = nil
+	done(t)
 }
 
 // launcherReady flushes the group's parked tasks when its first instance

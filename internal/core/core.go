@@ -215,11 +215,18 @@ type TaskManager struct {
 	// OnComplete, when set, observes every terminal task (campaign
 	// engines subscribe here).
 	OnComplete func(*agent.Task)
+	// doneFn / submitFn are prebound method values shared by every
+	// submission (per-task method-value allocations add up at scale).
+	doneFn   func(*agent.Task)
+	submitFn func(any)
 }
 
 // TaskManager creates a task manager bound to the pilot.
 func (s *Session) TaskManager(p *Pilot) *TaskManager {
-	return &TaskManager{sess: s, pilot: p}
+	tm := &TaskManager{sess: s, pilot: p}
+	tm.doneFn = tm.taskDone
+	tm.submitFn = tm.submitBatch
+	return tm
 }
 
 // Tasks returns all tasks ever submitted through this manager.
@@ -228,30 +235,62 @@ func (tm *TaskManager) Tasks() []*agent.Task { return tm.tasks }
 // FinalCount returns how many of them reached a terminal state.
 func (tm *TaskManager) FinalCount() int { return tm.final }
 
+// taskUID formats the historical "task.%06d" identifier without going
+// through fmt (one string allocation instead of three per task).
+func taskUID(seq int) string {
+	if seq >= 1000000 {
+		return fmt.Sprintf("task.%06d", seq)
+	}
+	buf := [11]byte{'t', 'a', 's', 'k', '.', '0', '0', '0', '0', '0', '0'}
+	for i := len(buf) - 1; seq > 0; i-- {
+		buf[i] = byte('0' + seq%10)
+		seq /= 10
+	}
+	return string(buf[:])
+}
+
 // Submit sends task descriptions to the pilot's agent. It returns the
 // agent-side task records (their Trace fields fill in as the simulation
 // advances).
 func (tm *TaskManager) Submit(tds []*spec.TaskDescription) []*agent.Task {
-	out := make([]*agent.Task, 0, len(tds))
-	for _, td := range tds {
+	if len(tds) == 0 {
+		return nil
+	}
+	// Task records for one batch share a single backing allocation.
+	arena := make([]agent.Task, len(tds))
+	out := make([]*agent.Task, len(tds))
+	now := tm.sess.Engine.Now()
+	for i, td := range tds {
 		if td.UID == "" {
-			td.UID = fmt.Sprintf("task.%06d", tm.sess.taskSeq)
+			td.UID = taskUID(tm.sess.taskSeq)
 		}
 		tm.sess.taskSeq++
 		tr := tm.sess.Profiler.Task(td.UID)
-		tr.Submit = tm.sess.Engine.Now()
+		tr.Submit = now
 		tr.Workflow = td.Workflow
-		t := &agent.Task{TD: td, State: states.TaskNew, Trace: tr}
+		t := &arena[i]
+		t.TD = td
+		t.State = states.TaskNew
+		t.Trace = tr
 		// Client-side acceptance, then the ZeroMQ hop to the agent.
 		states.Validate(t.State, states.TaskTMGRSchedule)
 		t.State = states.TaskTMGRSchedule
 		tm.tasks = append(tm.tasks, t)
-		out = append(out, t)
-		tm.sess.Engine.After(sim.Seconds(tm.sess.Params.RP.PipeLatency), func() {
-			tm.pilot.Agent.Submit(t, tm.taskDone)
-		})
+		out[i] = t
 	}
+	// One pipe-latency hop delivers the whole batch. The per-task submit
+	// events this replaces carried consecutive sequence numbers — no
+	// foreign event could interleave between them — so handing the batch
+	// to the agent in one event preserves the exact event order.
+	tm.sess.Engine.AfterCall(sim.Seconds(tm.sess.Params.RP.PipeLatency), tm.submitFn, out)
 	return out
+}
+
+// submitBatch delivers one Submit batch to the agent.
+func (tm *TaskManager) submitBatch(arg any) {
+	for _, t := range arg.([]*agent.Task) {
+		tm.pilot.Agent.Submit(t, tm.doneFn)
+	}
 }
 
 func (tm *TaskManager) taskDone(t *agent.Task) {

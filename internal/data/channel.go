@@ -164,10 +164,7 @@ func (s *System) recompute() {
 	for _, ch := range s.channels {
 		ch.note(now, ch.sumRate/ch.capacity)
 	}
-	if s.timer != nil {
-		s.timer.Stop()
-		s.timer = nil
-	}
+	s.timer.Stop()
 	if len(s.flows) == 0 {
 		return
 	}
@@ -197,7 +194,6 @@ func flowETA(remaining, rate float64) sim.Duration {
 // tick fires at the earliest projected completion: finished flows complete
 // (in start order, keeping runs deterministic) and shares redistribute.
 func (s *System) tick() {
-	s.timer = nil
 	s.advance()
 	kept := s.flows[:0]
 	var finished []*flow

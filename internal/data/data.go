@@ -48,7 +48,7 @@ type System struct {
 	flows []*flow
 	seq   uint64
 	lastT sim.Time
-	timer *sim.Timer
+	timer sim.Timer
 
 	// pendingNode coalesces concurrent stage-ins of the same dataset to
 	// the same node: the first request transfers, later ones join as

@@ -42,8 +42,8 @@ type Runtime struct {
 	util   *platform.UtilizationTracker
 	rand   *rng.Stream
 
-	queue   []*launch.Request
-	running map[*launch.Request]*platform.Placement
+	queue   launch.Queue
+	running []*dispatch
 
 	ready       bool
 	failed      bool
@@ -60,6 +60,12 @@ type Runtime struct {
 	crashed    bool
 	stats      launch.Stats
 
+	// Prebound hot-path callbacks for the engine's pooled events.
+	arrivedFn func(any)
+	spawnedFn func(any)
+	doneFn    func(any)
+	hopFn     func(any)
+
 	// OnException receives runtime-level failures.
 	OnException func(reason string)
 }
@@ -67,6 +73,9 @@ type Runtime struct {
 type dispatch struct {
 	r  *launch.Request
 	pl *platform.Placement
+	// runIdx is the slot in the runtime's running list, -1 when not
+	// running (O(1) membership instead of a map operation per task).
+	runIdx int
 }
 
 // Config carries runtime construction options.
@@ -89,18 +98,21 @@ func NewRuntime(cfg Config, eng *sim.Engine, ctrl *slurm.Controller, part *platf
 		cfg.Eta = 1
 	}
 	d := &Runtime{
-		name:    cfg.Name,
-		eng:     eng,
-		params:  cfg.Params,
-		eta:     cfg.Eta,
-		ctrl:    ctrl,
-		plc:     launch.NewPlacer(part),
-		util:    util,
-		rand:    src.Stream("dragon." + cfg.Name),
-		running: make(map[*launch.Request]*platform.Placement),
-		t0:      eng.Now(),
+		name:   cfg.Name,
+		eng:    eng,
+		params: cfg.Params,
+		eta:    cfg.Eta,
+		ctrl:   ctrl,
+		plc:    launch.NewPlacer(part),
+		util:   util,
+		rand:   src.Stream("dragon." + cfg.Name),
+		t0:     eng.Now(),
 	}
 	d.rateMult = d.rand.LogNormal(1, cfg.Params.RunSigma)
+	d.arrivedFn = d.submitArrived
+	d.spawnedFn = d.spawned
+	d.doneFn = d.taskDone
+	d.hopFn = d.completeHop
 	d.dispatcher = sim.NewServer(eng, 1, d.serviceTime, d.dispatched)
 	d.boot(cfg.FailBootstrap)
 	return d
@@ -172,7 +184,7 @@ func (d *Runtime) BootstrapOverhead() sim.Duration { return d.bootstrap }
 // Stats implements launch.Launcher.
 func (d *Runtime) Stats() launch.Stats {
 	st := d.stats
-	st.QueueLen = len(d.queue)
+	st.QueueLen = d.queue.Len()
 	return st
 }
 
@@ -196,26 +208,28 @@ func (d *Runtime) Rate(kind spec.TaskKind) float64 {
 // Submit implements launch.Launcher: the task is serialized and pushed to
 // the runtime over a shmem pipe.
 func (d *Runtime) Submit(r *launch.Request) {
-	d.eng.After(sim.Seconds(d.params.ShmemLatency), func() {
-		d.stats.Submitted++
-		if d.crashed {
-			d.fail(r, "dragon runtime down")
-			return
-		}
-		if !d.plc.Fits(r.TD) {
-			d.fail(r, fmt.Sprintf("task %s cannot fit partition of %d nodes", r.UID, d.Nodes()))
-			return
-		}
-		d.queue = append(d.queue, r)
-		d.pump()
-	})
+	d.eng.AfterCall(sim.Seconds(d.params.ShmemLatency), d.arrivedFn, r)
+}
+
+// submitArrived runs when the serialized task reaches the runtime.
+func (d *Runtime) submitArrived(arg any) {
+	r := arg.(*launch.Request)
+	d.stats.Submitted++
+	if d.crashed {
+		d.fail(r, "dragon runtime down")
+		return
+	}
+	if !d.plc.Fits(r.TD) {
+		d.fail(r, fmt.Sprintf("task %s cannot fit partition of %d nodes", r.UID, d.Nodes()))
+		return
+	}
+	d.queue.Push(r)
+	d.pump()
 }
 
 // Drain implements launch.Launcher.
 func (d *Runtime) Drain(reason string) {
-	q := d.queue
-	d.queue = nil
-	for _, r := range q {
+	for _, r := range d.queue.TakeAll() {
 		d.fail(r, reason)
 	}
 }
@@ -234,13 +248,15 @@ func (d *Runtime) Crash(reason string) {
 	}
 	d.Drain(reason)
 	now := d.eng.Now()
-	for r, pl := range d.running {
-		delete(d.running, r)
+	run := d.running
+	d.running = nil
+	for _, dp := range run {
+		dp.runIdx = -1
 		if d.util != nil {
-			d.util.Remove(now, pl.TotalCPU(), pl.TotalGPU())
+			d.util.Remove(now, dp.pl.TotalCPU(), dp.pl.TotalGPU())
 		}
-		d.plc.Partition().Release(now, pl)
-		d.fail(r, reason)
+		d.plc.Partition().Release(now, dp.pl)
+		d.fail(dp.r, reason)
 	}
 	if d.OnException != nil {
 		d.OnException(reason)
@@ -259,7 +275,7 @@ func (d *Runtime) Shutdown() {
 func (d *Runtime) fail(r *launch.Request, reason string) {
 	d.stats.Failed++
 	at := d.eng.Now()
-	d.eng.Immediately(func() { r.OnComplete(at, true, reason) })
+	d.eng.Immediately(func() { r.NotifyComplete(at, true, reason) })
 }
 
 // pump places queued tasks (implicit resource management: first free
@@ -268,14 +284,12 @@ func (d *Runtime) pump() {
 	if !d.ready || d.crashed {
 		return
 	}
-	for len(d.queue) > 0 {
-		idx, pl := d.plc.NextRequest(d.eng.Now(), d.queue, 0)
+	for d.queue.Len() > 0 {
+		r, pl := d.plc.PopNext(d.eng.Now(), &d.queue, 0)
 		if pl == nil {
 			return
 		}
-		r := d.queue[idx]
-		d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
-		d.dispatcher.Submit(&dispatch{r: r, pl: pl})
+		d.dispatcher.Submit(&dispatch{r: r, pl: pl, runIdx: -1})
 	}
 }
 
@@ -298,35 +312,59 @@ func (d *Runtime) dispatched(dp *dispatch) {
 	} else {
 		spawn = d.rand.LogNormal(0.002, d.params.SpawnSigma) // in-memory call
 	}
-	d.eng.After(sim.Seconds(spawn), func() {
-		if d.crashed {
-			d.plc.Partition().Release(d.eng.Now(), dp.pl)
-			d.fail(dp.r, "dragon runtime down")
-			return
-		}
-		now := d.eng.Now()
-		d.stats.Started++
-		d.running[dp.r] = dp.pl
-		if d.util != nil {
-			d.util.Add(now, dp.pl.TotalCPU(), dp.pl.TotalGPU())
-		}
-		dp.r.OnStart(now)
-		dp.r.StartBody(d.eng, func() {
-			if _, ok := d.running[dp.r]; !ok {
-				return // killed by crash
-			}
-			delete(d.running, dp.r)
-			end := d.eng.Now()
-			if d.util != nil {
-				d.util.Remove(end, dp.pl.TotalCPU(), dp.pl.TotalGPU())
-			}
-			d.plc.Partition().Release(end, dp.pl)
-			// Completion event hops back over the shmem queue.
-			d.eng.After(sim.Seconds(d.params.ShmemLatency), func() {
-				d.stats.Completed++
-				dp.r.OnComplete(d.eng.Now(), false, "")
-			})
-			d.pump()
-		})
-	})
+	d.eng.AfterCall(sim.Seconds(spawn), d.spawnedFn, dp)
+}
+
+// spawned runs when the worker has the process (or function frame) up.
+func (d *Runtime) spawned(arg any) {
+	dp := arg.(*dispatch)
+	if d.crashed {
+		d.plc.Partition().Release(d.eng.Now(), dp.pl)
+		d.fail(dp.r, "dragon runtime down")
+		return
+	}
+	now := d.eng.Now()
+	d.stats.Started++
+	dp.runIdx = len(d.running)
+	d.running = append(d.running, dp)
+	if d.util != nil {
+		d.util.Add(now, dp.pl.TotalCPU(), dp.pl.TotalGPU())
+	}
+	dp.r.NotifyStart(now)
+	dp.r.StartBodyCall(d.eng, d.doneFn, dp)
+}
+
+// taskDone runs when the task's process body ends.
+func (d *Runtime) taskDone(arg any) {
+	dp := arg.(*dispatch)
+	if dp.runIdx < 0 {
+		return // killed by crash
+	}
+	d.removeRunning(dp)
+	end := d.eng.Now()
+	if d.util != nil {
+		d.util.Remove(end, dp.pl.TotalCPU(), dp.pl.TotalGPU())
+	}
+	d.plc.Partition().Release(end, dp.pl)
+	// Completion event hops back over the shmem queue.
+	d.eng.AfterCall(sim.Seconds(d.params.ShmemLatency), d.hopFn, dp)
+	d.pump()
+}
+
+// removeRunning swap-deletes a dispatch from the running list in O(1).
+func (d *Runtime) removeRunning(dp *dispatch) {
+	last := len(d.running) - 1
+	moved := d.running[last]
+	d.running[dp.runIdx] = moved
+	moved.runIdx = dp.runIdx
+	d.running[last] = nil
+	d.running = d.running[:last]
+	dp.runIdx = -1
+}
+
+// completeHop delivers the completion after the shmem return hop.
+func (d *Runtime) completeHop(arg any) {
+	dp := arg.(*dispatch)
+	d.stats.Completed++
+	dp.r.NotifyComplete(d.eng.Now(), false, "")
 }

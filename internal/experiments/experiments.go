@@ -118,17 +118,22 @@ func (c *ThroughputConfig) buildWorkload() []*spec.TaskDescription {
 	}
 }
 
-// RunThroughput executes all repetitions of one cell.
+// RunThroughput executes all repetitions of one cell. Repetitions are
+// independent sessions with index-derived seeds, so they run on the
+// RunCells worker pool; aggregation folds the results in repetition order,
+// keeping every statistic identical to a serial run.
 func RunThroughput(cfg ThroughputConfig) ThroughputResult {
 	if cfg.Reps <= 0 {
 		cfg.Reps = 1
 	}
 	res := ThroughputResult{Config: cfg}
+	res.Reps = make([]RepResult, cfg.Reps)
+	RunCells(cfg.Reps, func(r int) {
+		res.Reps[r] = runThroughputRep(cfg, cfg.Seed+uint64(r))
+	})
 	var utilSum float64
 	var makespanSum sim.Duration
-	for r := 0; r < cfg.Reps; r++ {
-		rep := runThroughputRep(cfg, cfg.Seed+uint64(r))
-		res.Reps = append(res.Reps, rep)
+	for _, rep := range res.Reps {
 		res.AvgTput += rep.Throughput.Avg
 		if rep.Throughput.Avg > res.MaxTput {
 			res.MaxTput = rep.Throughput.Avg

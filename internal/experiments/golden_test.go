@@ -1,0 +1,121 @@
+package experiments
+
+// Golden determinism tests. These pin the exact profiler traces of two
+// fixed-seed campaigns — the Fig 8 IMPECCABLE pipeline and a staging
+// handoff — as FNV-1a fingerprints over every trace field. The engine,
+// placer, and queue rewrites of the performance PR must keep these hashes
+// byte-identical: any change to event ordering, placement decisions, or
+// RNG draw sequence shows up here immediately.
+//
+// If one of these tests fails after an intentional model change (not a
+// performance refactor), re-pin by running with -run TestGolden -v and
+// copying the printed hashes.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"rpgo/internal/core"
+	"rpgo/internal/profiler"
+	"rpgo/internal/spec"
+)
+
+// fingerprintTraces folds every field of every task trace, in submission
+// order, into one 64-bit FNV-1a hash.
+func fingerprintTraces(tasks []*profiler.TaskTrace) uint64 {
+	h := fnv.New64a()
+	for _, tr := range tasks {
+		fmt.Fprintf(h, "%s|%d|%d|%d|%d|%d|%d|%t|%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			tr.UID, tr.Submit, tr.Scheduled, tr.Launch, tr.Start, tr.End, tr.Final,
+			tr.Failed, tr.Backend, tr.Workflow, tr.Cores, tr.GPUs, tr.Retries,
+			tr.ServiceRequests, tr.ServiceFailed, tr.ServiceWait,
+			tr.BytesIn, tr.BytesOut, tr.StageIn, tr.StageOut, tr.DataHits, tr.DataMisses)
+	}
+	return h.Sum64()
+}
+
+// fingerprintTransfers folds every transfer trace, in completion order.
+func fingerprintTransfers(tts []profiler.TransferTrace) uint64 {
+	h := fnv.New64a()
+	for _, tt := range tts {
+		fmt.Fprintf(h, "%s|%s|%d|%s|%s|%d|%d|%d\n",
+			tt.Dataset, tt.Task, tt.Bytes, tt.Src, tt.Dst, tt.Node, tt.Start, tt.End)
+	}
+	return h.Sum64()
+}
+
+// Golden hashes captured from the pre-rewrite simulator (PR 2 state). The
+// engine/placer/queue rewrite must reproduce them bit for bit.
+const (
+	goldenFig8Tasks       = uint64(0x8e446c867d8033a0)
+	goldenHandoffTasks    = uint64(0x19dfaad4c89267d2)
+	goldenHandoffTransfer = uint64(0xabb7481f7145aab5)
+	goldenHybridTasks     = uint64(0x944348e46b879a60)
+)
+
+// TestGoldenFig8Campaign runs a fixed-seed, iteration-capped IMPECCABLE
+// campaign on Flux and checks the trace fingerprint.
+func TestGoldenFig8Campaign(t *testing.T) {
+	res := RunImpeccable(ImpeccableConfig{
+		Nodes:    128,
+		Backend:  spec.BackendFlux,
+		Seed:     424242,
+		MaxIters: 6,
+	})
+	if res.Tasks == 0 {
+		t.Fatal("campaign ran no tasks")
+	}
+	got := fingerprintTraces(res.Traces)
+	t.Logf("fig8 tasks=%d failed=%d fingerprint=%#x", res.Tasks, res.Failed, got)
+	if goldenFig8Tasks != 0 && got != goldenFig8Tasks {
+		t.Fatalf("fig8 trace fingerprint drifted: got %#x, want %#x", got, goldenFig8Tasks)
+	}
+}
+
+// TestGoldenHybridThroughput runs one dense flux+dragon throughput cell —
+// thousands of tasks through both backend hot paths, the ring placer, and
+// the agent pipeline — and checks the full trace fingerprint.
+func TestGoldenHybridThroughput(t *testing.T) {
+	cfg := HybridCell(8, 2, 0, 99, 1)
+	sess := core.NewSession(core.Config{Seed: cfg.Seed})
+	pilot, err := sess.SubmitPilot(spec.PilotDescription{
+		Nodes: cfg.Nodes, SMT: 1, Partitions: cfg.Partitions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := sess.TaskManager(pilot)
+	tm.Submit(cfg.buildWorkload())
+	if err := tm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	tasks := sess.Profiler.Tasks()
+	got := fingerprintTraces(tasks)
+	t.Logf("hybrid tasks=%d fingerprint=%#x", len(tasks), got)
+	if goldenHybridTasks != 0 && got != goldenHybridTasks {
+		t.Fatalf("hybrid trace fingerprint drifted: got %#x, want %#x", got, goldenHybridTasks)
+	}
+}
+
+// TestGoldenStagingHandoff runs the fixed-seed producer→consumer handoff
+// under data-aware placement and checks task and transfer fingerprints.
+func TestGoldenStagingHandoff(t *testing.T) {
+	res, tasks, transfers := runHandoffTraced(HandoffConfig{
+		Nodes: 4, Stages: 2, Width: 64, Bytes: 1 << 28,
+		Policy: spec.PlaceDataAware, TaskSeconds: 1, Seed: 77,
+	})
+	if res.Failed != 0 {
+		t.Fatalf("handoff failed %d tasks", res.Failed)
+	}
+	gotTasks := fingerprintTraces(tasks)
+	gotTransfers := fingerprintTransfers(transfers)
+	t.Logf("handoff tasks=%#x transfers=%#x (n=%d, moved=%d)",
+		gotTasks, gotTransfers, len(tasks), res.BytesMoved)
+	if goldenHandoffTasks != 0 && gotTasks != goldenHandoffTasks {
+		t.Fatalf("handoff trace fingerprint drifted: got %#x, want %#x", gotTasks, goldenHandoffTasks)
+	}
+	if goldenHandoffTransfer != 0 && gotTransfers != goldenHandoffTransfer {
+		t.Fatalf("handoff transfer fingerprint drifted: got %#x, want %#x", gotTransfers, goldenHandoffTransfer)
+	}
+}

@@ -91,14 +91,26 @@ func RunServiceSweep(cfg ServiceSweepConfig) ServiceSweepResult {
 		cfg.Duration = 2 * sim.Minute
 	}
 	res := ServiceSweepResult{Config: cfg}
+	// Cell list first, then the worker pool: seeds derive from the cell's
+	// grid position, so any worker count reproduces the serial sweep.
+	type coord struct {
+		rate     float64
+		replicas int
+		seed     uint64
+	}
+	var coords []coord
 	cell := 0
 	for _, reps := range cfg.Replicas {
 		for _, rate := range cfg.Rates {
 			cell++
-			res.Cells = append(res.Cells,
-				runServiceCell(cfg, rate, reps, cfg.Seed+uint64(cell)))
+			coords = append(coords, coord{rate: rate, replicas: reps, seed: cfg.Seed + uint64(cell)})
 		}
 	}
+	res.Cells = make([]ServiceCell, len(coords))
+	RunCells(len(coords), func(i int) {
+		c := coords[i]
+		res.Cells[i] = runServiceCell(cfg, c.rate, c.replicas, c.seed)
+	})
 	return res
 }
 

@@ -14,6 +14,7 @@ import (
 	"rpgo/internal/core"
 	"rpgo/internal/metrics"
 	"rpgo/internal/model"
+	"rpgo/internal/profiler"
 	"rpgo/internal/sim"
 	"rpgo/internal/spec"
 	"rpgo/internal/workload"
@@ -77,28 +78,35 @@ func RunStagingSweep(cfg StagingSweepConfig) []StagingCell {
 	if len(cfg.Policies) == 0 {
 		cfg.Policies = []spec.PlacementPolicy{spec.PlacePack, spec.PlaceDataAware}
 	}
-	var out []StagingCell
+	// Materialize the cell grid first, then run the independent cells on
+	// the worker pool; index-addressed results keep the output order (and
+	// per-rep seed derivation) identical to a serial sweep.
+	var coords []StagingCell
 	for _, size := range cfg.ShardBytes {
 		for _, src := range cfg.Sources {
 			for _, pol := range cfg.Policies {
-				cell := StagingCell{Policy: pol, Source: src, ShardBytes: size}
-				for r := 0; r < cfg.Reps; r++ {
-					tasks := workload.TrainingFanout(cfg.Shards, cfg.TasksPerShard, size, sim.Seconds(cfg.TaskSeconds))
-					for _, td := range tasks {
-						td.InputData[0].Source = src
-					}
-					res := runStagingRep(cfg.Nodes, pol, cfg.Seed+uint64(r), cfg.Params, tasks)
-					cell.Makespan += res.Makespan / sim.Duration(cfg.Reps)
-					cell.BytesMoved += float64(res.BytesMoved) / float64(cfg.Reps)
-					cell.HitRate += res.HitRate / float64(cfg.Reps)
-					cell.SharedOccupancy += res.SharedOccupancy / float64(cfg.Reps)
-					cell.StageInPerTask += res.StageInPerTask / sim.Duration(cfg.Reps)
-					cell.Failed += res.Failed
-				}
-				out = append(out, cell)
+				coords = append(coords, StagingCell{Policy: pol, Source: src, ShardBytes: size})
 			}
 		}
 	}
+	out := make([]StagingCell, len(coords))
+	RunCells(len(coords), func(i int) {
+		cell := coords[i]
+		for r := 0; r < cfg.Reps; r++ {
+			tasks := workload.TrainingFanout(cfg.Shards, cfg.TasksPerShard, cell.ShardBytes, sim.Seconds(cfg.TaskSeconds))
+			for _, td := range tasks {
+				td.InputData[0].Source = cell.Source
+			}
+			res := runStagingRep(cfg.Nodes, cell.Policy, cfg.Seed+uint64(r), cfg.Params, tasks)
+			cell.Makespan += res.Makespan / sim.Duration(cfg.Reps)
+			cell.BytesMoved += float64(res.BytesMoved) / float64(cfg.Reps)
+			cell.HitRate += res.HitRate / float64(cfg.Reps)
+			cell.SharedOccupancy += res.SharedOccupancy / float64(cfg.Reps)
+			cell.StageInPerTask += res.StageInPerTask / sim.Duration(cfg.Reps)
+			cell.Failed += res.Failed
+		}
+		out[i] = cell
+	})
 	return out
 }
 
@@ -230,6 +238,13 @@ type HandoffConfig struct {
 // datasets the previous stage produced: the scenario where data-aware
 // placement turns cross-stage handoffs into node-local reads.
 func RunHandoff(cfg HandoffConfig) StagingRepResult {
+	res, _, _ := runHandoffTraced(cfg)
+	return res
+}
+
+// runHandoffTraced is RunHandoff plus the raw task and transfer traces
+// (the golden determinism tests fingerprint them).
+func runHandoffTraced(cfg HandoffConfig) (StagingRepResult, []*profiler.TaskTrace, []profiler.TransferTrace) {
 	sess := core.NewSession(core.Config{Seed: cfg.Seed, Params: cfg.Params})
 	pilot, err := sess.SubmitPilot(spec.PilotDescription{
 		Nodes:      cfg.Nodes,
@@ -266,5 +281,5 @@ func RunHandoff(cfg HandoffConfig) StagingRepResult {
 		panic(fmt.Sprintf("experiments: handoff: %v", err))
 	}
 	total := cfg.Stages * cfg.Width
-	return measureStaging(sess, pilot, total)
+	return measureStaging(sess, pilot, total), sess.Profiler.Tasks(), sess.Profiler.Transfers()
 }

@@ -39,8 +39,8 @@ type Instance struct {
 	util   *platform.UtilizationTracker
 	rand   *rng.Stream
 
-	queue   []*launch.Request
-	running map[*launch.Request]*platform.Placement
+	queue   launch.Queue
+	running []*job
 
 	ready       bool
 	readyFns    []func()
@@ -60,6 +60,14 @@ type Instance struct {
 	lastRefill sim.Time
 	crashed    bool
 	stats      launch.Stats
+
+	// Prebound hot-path callbacks (scheduled through the engine's pooled
+	// arg-carrying events, so a task's trip through the broker allocates
+	// one job record instead of a chain of closures).
+	cycleFn   func()
+	arrivedFn func(any)
+	spawnedFn func(any)
+	doneFn    func(any)
 
 	// OnException, when set, receives instance-level failures (crash,
 	// bootstrap failure); the RP executor maps them into task failures
@@ -86,18 +94,21 @@ func NewInstance(cfg Config, eng *sim.Engine, ctrl *slurm.Controller, part *plat
 		cfg.Eta = 1
 	}
 	in := &Instance{
-		name:    cfg.Name,
-		eng:     eng,
-		params:  cfg.Params,
-		ctrl:    ctrl,
-		plc:     launch.NewPlacer(part),
-		util:    util,
-		rand:    src.Stream("flux." + cfg.Name),
-		running: make(map[*launch.Request]*platform.Placement),
-		eta:     cfg.Eta,
-		t0:      eng.Now(),
+		name:   cfg.Name,
+		eng:    eng,
+		params: cfg.Params,
+		ctrl:   ctrl,
+		plc:    launch.NewPlacer(part),
+		util:   util,
+		rand:   src.Stream("flux." + cfg.Name),
+		eta:    cfg.Eta,
+		t0:     eng.Now(),
 	}
 	in.rateMult = in.rand.LogNormal(1, cfg.Params.RunSigma)
+	in.cycleFn = in.cycle
+	in.arrivedFn = in.submitArrived
+	in.spawnedFn = in.spawned
+	in.doneFn = in.jobDone
 	in.start(cfg.Nested)
 	return in
 }
@@ -167,7 +178,7 @@ func (in *Instance) BootstrapOverhead() sim.Duration { return in.bootstrap }
 // Stats implements launch.Launcher.
 func (in *Instance) Stats() launch.Stats {
 	st := in.stats
-	st.QueueLen = len(in.queue)
+	st.QueueLen = in.queue.Len()
 	return st
 }
 
@@ -178,26 +189,28 @@ func (in *Instance) Rate() float64 {
 
 // Submit implements launch.Launcher: an asynchronous RPC into the broker.
 func (in *Instance) Submit(r *launch.Request) {
-	in.eng.After(sim.Seconds(in.params.RPCLatency), func() {
-		in.stats.Submitted++
-		if in.crashed {
-			in.fail(r, "flux instance crashed")
-			return
-		}
-		if !in.plc.Fits(r.TD) {
-			in.fail(r, fmt.Sprintf("job %s cannot fit instance partition of %d nodes", r.UID, in.Nodes()))
-			return
-		}
-		in.queue = append(in.queue, r)
-		in.kick()
-	})
+	in.eng.AfterCall(sim.Seconds(in.params.RPCLatency), in.arrivedFn, r)
+}
+
+// submitArrived runs when the submit RPC reaches the broker.
+func (in *Instance) submitArrived(arg any) {
+	r := arg.(*launch.Request)
+	in.stats.Submitted++
+	if in.crashed {
+		in.fail(r, "flux instance crashed")
+		return
+	}
+	if !in.plc.Fits(r.TD) {
+		in.fail(r, fmt.Sprintf("job %s cannot fit instance partition of %d nodes", r.UID, in.Nodes()))
+		return
+	}
+	in.queue.Push(r)
+	in.kick()
 }
 
 // Drain implements launch.Launcher.
 func (in *Instance) Drain(reason string) {
-	q := in.queue
-	in.queue = nil
-	for _, r := range q {
+	for _, r := range in.queue.TakeAll() {
 		in.fail(r, reason)
 	}
 }
@@ -216,13 +229,15 @@ func (in *Instance) Crash(reason string) {
 	}
 	in.Drain(reason)
 	now := in.eng.Now()
-	for r, pl := range in.running {
-		delete(in.running, r)
+	run := in.running
+	in.running = nil
+	for _, j := range run {
+		j.runIdx = -1
 		if in.util != nil {
-			in.util.Remove(now, pl.TotalCPU(), pl.TotalGPU())
+			in.util.Remove(now, j.pl.TotalCPU(), j.pl.TotalGPU())
 		}
-		in.plc.Partition().Release(now, pl)
-		in.fail(r, reason)
+		in.plc.Partition().Release(now, j.pl)
+		in.fail(j.r, reason)
 	}
 	if in.OnException != nil {
 		in.OnException(reason)
@@ -261,18 +276,18 @@ func (in *Instance) SpawnNested(name string, n int, src *rng.Source) (*Instance,
 func (in *Instance) fail(r *launch.Request, reason string) {
 	in.stats.Failed++
 	at := in.eng.Now()
-	in.eng.Immediately(func() { r.OnComplete(at, true, reason) })
+	in.eng.Immediately(func() { r.NotifyComplete(at, true, reason) })
 }
 
 // kick schedules a scheduler pass. The broker is event-driven: submits,
 // completions, and bootstrap all trigger an immediate pass, while the token
 // bucket bounds the sustained dispatch rate at R(n).
 func (in *Instance) kick() {
-	if in.cycling || !in.ready || in.crashed || len(in.queue) == 0 {
+	if in.cycling || !in.ready || in.crashed || in.queue.Len() == 0 {
 		return
 	}
 	in.cycling = true
-	in.eng.Immediately(in.cycle)
+	in.eng.Immediately(in.cycleFn)
 }
 
 // refillTokens accrues dispatch tokens at the instance rate, capped at one
@@ -295,25 +310,23 @@ func (in *Instance) refillTokens() {
 // dispatch tokens and resources last, then reschedule at the next token.
 func (in *Instance) cycle() {
 	in.cycling = false
-	if in.crashed || len(in.queue) == 0 {
+	if in.crashed || in.queue.Len() == 0 {
 		return
 	}
 	in.refillTokens()
 	blocked := false
-	for in.tokens >= 1 && len(in.queue) > 0 {
+	for in.tokens >= 1 && in.queue.Len() > 0 {
 		// Selection: data-affinity first, then FCFS, then a bounded
 		// backfill window past a blocked head (FCFS + backfill policy).
-		idx, pl := in.plc.NextRequest(in.eng.Now(), in.queue, in.params.BackfillDepth)
+		r, pl := in.plc.PopNext(in.eng.Now(), &in.queue, in.params.BackfillDepth)
 		if pl == nil {
 			blocked = true
 			break
 		}
-		r := in.queue[idx]
-		in.queue = append(in.queue[:idx], in.queue[idx+1:]...)
 		in.tokens--
 		in.launch(r, pl)
 	}
-	if len(in.queue) == 0 || blocked {
+	if in.queue.Len() == 0 || blocked {
 		// Either drained, or resource-blocked: completions re-kick.
 		return
 	}
@@ -323,38 +336,68 @@ func (in *Instance) cycle() {
 		wait = sim.Millisecond
 	}
 	in.cycling = true
-	in.eng.After(wait, in.cycle)
+	in.eng.After(wait, in.cycleFn)
+}
+
+// job carries one placed request through shell spawn, execution and
+// completion (the pooled-event argument for the broker's launch stages).
+// runIdx is its slot in the instance's running list, -1 when not running
+// — the membership test that used to cost a map operation per task.
+type job struct {
+	r      *launch.Request
+	pl     *platform.Placement
+	runIdx int
 }
 
 func (in *Instance) launch(r *launch.Request, pl *platform.Placement) {
 	// The job shell spawn latency separates allocation from exec start.
 	shell := in.rand.LogNormal(in.params.ShellMedian, in.params.ShellSigma)
-	in.eng.After(sim.Seconds(shell), func() {
-		if in.crashed {
-			in.plc.Partition().Release(in.eng.Now(), pl)
-			in.fail(r, "flux instance crashed")
-			return
-		}
-		now := in.eng.Now()
-		in.stats.Started++
-		in.running[r] = pl
-		if in.util != nil {
-			in.util.Add(now, pl.TotalCPU(), pl.TotalGPU())
-		}
-		r.OnStart(now)
-		r.StartBody(in.eng, func() {
-			if _, ok := in.running[r]; !ok {
-				return // killed by crash
-			}
-			delete(in.running, r)
-			end := in.eng.Now()
-			if in.util != nil {
-				in.util.Remove(end, pl.TotalCPU(), pl.TotalGPU())
-			}
-			in.plc.Partition().Release(end, pl)
-			in.stats.Completed++
-			r.OnComplete(end, false, "")
-			in.kick()
-		})
-	})
+	in.eng.AfterCall(sim.Seconds(shell), in.spawnedFn, &job{r: r, pl: pl, runIdx: -1})
+}
+
+// removeRunning swap-deletes a job from the running list in O(1).
+func (in *Instance) removeRunning(j *job) {
+	last := len(in.running) - 1
+	moved := in.running[last]
+	in.running[j.runIdx] = moved
+	moved.runIdx = j.runIdx
+	in.running[last] = nil
+	in.running = in.running[:last]
+	j.runIdx = -1
+}
+
+// spawned runs when the parallel job shell is up: the task process starts.
+func (in *Instance) spawned(arg any) {
+	j := arg.(*job)
+	if in.crashed {
+		in.plc.Partition().Release(in.eng.Now(), j.pl)
+		in.fail(j.r, "flux instance crashed")
+		return
+	}
+	now := in.eng.Now()
+	in.stats.Started++
+	j.runIdx = len(in.running)
+	in.running = append(in.running, j)
+	if in.util != nil {
+		in.util.Add(now, j.pl.TotalCPU(), j.pl.TotalGPU())
+	}
+	j.r.NotifyStart(now)
+	j.r.StartBodyCall(in.eng, in.doneFn, j)
+}
+
+// jobDone runs when the task process body ends.
+func (in *Instance) jobDone(arg any) {
+	j := arg.(*job)
+	if j.runIdx < 0 {
+		return // killed by crash
+	}
+	in.removeRunning(j)
+	end := in.eng.Now()
+	if in.util != nil {
+		in.util.Remove(end, j.pl.TotalCPU(), j.pl.TotalGPU())
+	}
+	in.plc.Partition().Release(end, j.pl)
+	in.stats.Completed++
+	j.r.NotifyComplete(end, false, "")
+	in.kick()
 }

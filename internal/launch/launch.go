@@ -11,16 +11,34 @@ import (
 	"rpgo/internal/spec"
 )
 
+// Events receives a request's lifecycle callbacks. It exists for the hot
+// path: the agent implements it on one per-dispatch record, replacing the
+// two closure allocations the OnStart/OnComplete fields would cost.
+// Requests may set either Events or the plain func fields; backends must
+// deliver through NotifyStart/NotifyComplete, which prefer Events.
+type Events interface {
+	// OnStart fires when the task process begins executing.
+	OnStart(at sim.Time)
+	// OnComplete fires when the task finishes; failed marks
+	// infrastructure failures (the task may be retried by the agent).
+	OnComplete(at sim.Time, failed bool, reason string)
+}
+
 // Request is one task launch handed to a backend.
 type Request struct {
 	// UID identifies the task.
 	UID string
 	// TD is the task description (resources, duration, kind).
 	TD *spec.TaskDescription
-	// OnStart fires when the task process begins executing.
+	// Events, when set, receives the start/complete callbacks (preferred
+	// over the func fields below).
+	Events Events
+	// OnStart fires when the task process begins executing. Ignored when
+	// Events is set.
 	OnStart func(at sim.Time)
 	// OnComplete fires when the task finishes; failed marks
 	// infrastructure failures (the task may be retried by the agent).
+	// Ignored when Events is set.
 	OnComplete func(at sim.Time, failed bool, reason string)
 	// Body, when set, replaces the fixed TD.Duration sleep as the task's
 	// process body: the backend invokes it once the process starts, and
@@ -42,6 +60,28 @@ type Request struct {
 	OnPlaced func(at sim.Time, nodeIDs []int)
 }
 
+// NotifyStart delivers the start callback.
+func (r *Request) NotifyStart(at sim.Time) {
+	if r.Events != nil {
+		r.Events.OnStart(at)
+		return
+	}
+	if r.OnStart != nil {
+		r.OnStart(at)
+	}
+}
+
+// NotifyComplete delivers the completion callback.
+func (r *Request) NotifyComplete(at sim.Time, failed bool, reason string) {
+	if r.Events != nil {
+		r.Events.OnComplete(at, failed, reason)
+		return
+	}
+	if r.OnComplete != nil {
+		r.OnComplete(at, failed, reason)
+	}
+}
+
 // StartBody runs the task's process body at the current time: Body when
 // set, otherwise a TD.Duration sleep. done is invoked exactly once when
 // the body ends, even if a buggy body calls it repeatedly.
@@ -61,6 +101,18 @@ func (r *Request) StartBody(eng *sim.Engine, done func()) {
 		// event ordering by calling done synchronously.
 		eng.Immediately(done)
 	})
+}
+
+// StartBodyCall is StartBody for hot paths: when Body is nil — the
+// overwhelmingly common fixed-duration task — it schedules fn(arg) after
+// TD.Duration through the engine's pooled arg-carrying event, costing no
+// closure allocation. Tasks with a Body fall back to StartBody.
+func (r *Request) StartBodyCall(eng *sim.Engine, fn func(any), arg any) {
+	if r.Body == nil {
+		eng.AfterCall(r.TD.Duration, fn, arg)
+		return
+	}
+	r.StartBody(eng, func() { fn(arg) })
 }
 
 // Stats captures backend counters for analytics.
@@ -96,24 +148,159 @@ type Launcher interface {
 	Stats() Stats
 }
 
+// Queue is a FIFO of launch requests backed by a growable ring buffer. It
+// is the one request queue shared by all four backends: PopAt removes from
+// any position (the placer's affinity and backfill passes select past the
+// head) by shifting the shorter side of the ring, so head removal — the
+// common case — is O(1) instead of the O(n) copy a slice-delete costs.
+type Queue struct {
+	buf  []*Request // len(buf) is always a power of two
+	head int
+	n    int
+	// hinted counts queued requests carrying a Prefer hook, so the
+	// placer's affinity pass can skip its window scan entirely for
+	// locality-blind workloads.
+	hinted int
+}
+
+// Len returns the number of queued requests.
+func (q *Queue) Len() int { return q.n }
+
+// HintedLen returns how many queued requests carry placement hints.
+func (q *Queue) HintedLen() int { return q.hinted }
+
+// Push appends a request to the tail.
+func (q *Queue) Push(r *Request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = r
+	q.n++
+	if r.Prefer != nil {
+		q.hinted++
+	}
+}
+
+func (q *Queue) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]*Request, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// At returns the i-th request in FIFO order (0 = head).
+func (q *Queue) At(i int) *Request {
+	if i < 0 || i >= q.n {
+		panic(fmt.Sprintf("launch: queue index %d out of range [0,%d)", i, q.n))
+	}
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+// PopAt removes and returns the i-th request, preserving FIFO order of the
+// rest. It shifts whichever side of the ring is shorter; PopAt(0) is O(1).
+func (q *Queue) PopAt(i int) *Request {
+	r := q.At(i)
+	mask := len(q.buf) - 1
+	if i < q.n-1-i {
+		// Shift the head side forward over the gap.
+		for j := i; j > 0; j-- {
+			q.buf[(q.head+j)&mask] = q.buf[(q.head+j-1)&mask]
+		}
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) & mask
+	} else {
+		// Shift the tail side back over the gap.
+		for j := i; j < q.n-1; j++ {
+			q.buf[(q.head+j)&mask] = q.buf[(q.head+j+1)&mask]
+		}
+		q.buf[(q.head+q.n-1)&mask] = nil
+	}
+	q.n--
+	if r.Prefer != nil {
+		q.hinted--
+	}
+	return r
+}
+
+// TakeAll drains the queue, returning the requests in FIFO order.
+func (q *Queue) TakeAll() []*Request {
+	if q.n == 0 {
+		return nil
+	}
+	mask := len(q.buf) - 1
+	out := make([]*Request, q.n)
+	for i := 0; i < q.n; i++ {
+		out[i] = q.buf[(q.head+i)&mask]
+		q.buf[(q.head+i)&mask] = nil
+	}
+	q.head = 0
+	q.n = 0
+	q.hinted = 0
+	return out
+}
+
 // Placer assigns concrete slots on a partition's nodes. It is shared by all
 // backends: Flux uses it inside its scheduler loop, Dragon for implicit
 // worker occupancy, and the agent's own scheduler for srun placement.
 //
 // Single-node requests use a ring cursor (O(1) amortized for uniform
-// workloads); multi-node requests take whole free nodes.
+// workloads); multi-node requests take whole free nodes. Two indexes keep
+// the hot path off O(nodes) scans: an id→node map resolves data-affinity
+// hints in O(1), and a free-capacity watermark — recorded when a full scan
+// fails, invalidated by the cluster's capacity epoch on any release —
+// short-circuits placement attempts that cannot possibly succeed.
 type Placer struct {
 	part   *platform.Allocation
 	cursor int
+	// byID maps node ID → index in part.Nodes (hint resolution).
+	byID map[int]int
+	// Watermark cache: when valid (epoch matches), no node in the
+	// partition had more than maxFreeCPU free CPU slots or maxFreeGPU
+	// free GPU slots at the time of the last failed full scan. Claims
+	// since then only shrink capacity, so a request demanding more than
+	// either bound cannot fit and skips its scan entirely.
+	wmValid    bool
+	wmEpoch    uint64
+	maxFreeCPU int
+	maxFreeGPU int
 }
 
 // NewPlacer returns a placer over the partition.
 func NewPlacer(part *platform.Allocation) *Placer {
-	return &Placer{part: part}
+	p := &Placer{part: part, byID: make(map[int]int, len(part.Nodes))}
+	for i, node := range part.Nodes {
+		p.byID[node.ID] = i
+	}
+	return p
 }
 
 // Partition returns the underlying allocation.
 func (p *Placer) Partition() *platform.Allocation { return p.part }
+
+// cannotFit reports whether the watermark cache proves no node in the
+// partition currently has (cores, gpus) free.
+func (p *Placer) cannotFit(cores, gpus int) bool {
+	if !p.wmValid || p.part.Cluster.Epoch() != p.wmEpoch {
+		p.wmValid = false
+		return false
+	}
+	return cores > p.maxFreeCPU || gpus > p.maxFreeGPU
+}
+
+// recordWatermark caches the per-node free-capacity maxima observed during
+// a failed full scan, tagged with the current capacity epoch.
+func (p *Placer) recordWatermark(maxCPU, maxGPU int) {
+	p.wmValid = true
+	p.wmEpoch = p.part.Cluster.Epoch()
+	p.maxFreeCPU = maxCPU
+	p.maxFreeGPU = maxGPU
+}
 
 // Place finds and claims slots for the task. It returns nil when the
 // partition currently lacks capacity (the caller re-tries when slots free).
@@ -165,14 +352,20 @@ const affinityWindow = 128
 //
 // Requests without preferences see exactly the legacy FCFS(+backfill)
 // behavior, so locality-blind workloads are byte-for-byte unchanged.
-func (p *Placer) NextRequest(at sim.Time, queue []*Request, backfill int) (int, *platform.Placement) {
+func (p *Placer) NextRequest(at sim.Time, queue *Queue, backfill int) (int, *platform.Placement) {
 	w := affinityWindow
-	if w > len(queue) {
-		w = len(queue)
+	if w > queue.Len() {
+		w = queue.Len()
+	}
+	if queue.HintedLen() == 0 {
+		w = 0 // no hinted request queued: the affinity pass cannot match
 	}
 	for i := 0; i < w; i++ {
-		r := queue[i]
+		r := queue.At(i)
 		if r.Prefer == nil || r.TD.MultiNode() {
+			continue
+		}
+		if p.cannotFit(r.TD.TotalCores(), r.TD.TotalGPUs()) {
 			continue
 		}
 		prefer := r.Prefer()
@@ -187,15 +380,26 @@ func (p *Placer) NextRequest(at sim.Time, queue []*Request, backfill int) (int, 
 		}
 	}
 	n := 1 + backfill
-	if n > len(queue) {
-		n = len(queue)
+	if n > queue.Len() {
+		n = queue.Len()
 	}
 	for i := 0; i < n; i++ {
-		if pl := p.PlaceRequest(at, queue[i]); pl != nil {
+		if pl := p.PlaceRequest(at, queue.At(i)); pl != nil {
 			return i, pl
 		}
 	}
 	return -1, nil
+}
+
+// PopNext runs NextRequest and removes the selected request from the
+// queue, returning it with its claimed placement ((nil, nil) when nothing
+// can place). It is the one-call scheduling step all backends share.
+func (p *Placer) PopNext(at sim.Time, queue *Queue, backfill int) (*Request, *platform.Placement) {
+	idx, pl := p.NextRequest(at, queue, backfill)
+	if pl == nil {
+		return nil, nil
+	}
+	return queue.PopAt(idx), pl
 }
 
 // placePreferredOnly claims the first hinted node with capacity, without
@@ -208,11 +412,7 @@ func (p *Placer) placePreferredOnly(at sim.Time, r *Request, prefer []int) *plat
 		if node == nil {
 			continue
 		}
-		pl := &platform.Placement{
-			NodeIDs:  []int{node.ID},
-			CPUSlots: []int{cores},
-			GPUSlots: []int{gpus},
-		}
+		pl := platform.NewSingleNodePlacement(node.ID, cores, gpus)
 		if err := p.part.Claim(at, pl); err != nil {
 			panic(fmt.Sprintf("launch: claim after fit check failed: %v", err))
 		}
@@ -222,15 +422,15 @@ func (p *Placer) placePreferredOnly(at sim.Time, r *Request, prefer []int) *plat
 }
 
 // preferredNode resolves a hinted node ID to a partition node with enough
-// free capacity, nil otherwise.
+// free capacity, nil otherwise. Resolution is O(1) through the id index.
 func (p *Placer) preferredNode(id, cores, gpus int) *platform.Node {
-	for _, node := range p.part.Nodes {
-		if node.ID == id {
-			if node.FreeCPU() >= cores && node.FreeGPU() >= gpus {
-				return node
-			}
-			return nil
-		}
+	i, ok := p.byID[id]
+	if !ok {
+		return nil
+	}
+	node := p.part.Nodes[i]
+	if node.FreeCPU() >= cores && node.FreeGPU() >= gpus {
+		return node
 	}
 	return nil
 }
@@ -238,6 +438,9 @@ func (p *Placer) preferredNode(id, cores, gpus int) *platform.Node {
 func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription, prefer []int) *platform.Placement {
 	cores := td.TotalCores()
 	gpus := td.TotalGPUs()
+	if p.cannotFit(cores, gpus) {
+		return nil
+	}
 	// Preference pass: claim the first hinted node that fits, leaving the
 	// ring cursor untouched so non-hinted traffic keeps its packing order.
 	for _, id := range prefer {
@@ -245,26 +448,19 @@ func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription, prefer [
 		if node == nil {
 			continue
 		}
-		pl := &platform.Placement{
-			NodeIDs:  []int{node.ID},
-			CPUSlots: []int{cores},
-			GPUSlots: []int{gpus},
-		}
+		pl := platform.NewSingleNodePlacement(node.ID, cores, gpus)
 		if err := p.part.Claim(at, pl); err != nil {
 			panic(fmt.Sprintf("launch: claim after fit check failed: %v", err))
 		}
 		return pl
 	}
 	n := len(p.part.Nodes)
+	maxCPU, maxGPU := 0, 0
 	for i := 0; i < n; i++ {
 		node := p.part.Nodes[(p.cursor+i)%n]
 		if node.FreeCPU() >= cores && node.FreeGPU() >= gpus {
 			p.cursor = (p.cursor + i) % n
-			pl := &platform.Placement{
-				NodeIDs:  []int{node.ID},
-				CPUSlots: []int{cores},
-				GPUSlots: []int{gpus},
-			}
+			pl := platform.NewSingleNodePlacement(node.ID, cores, gpus)
 			if err := p.part.Claim(at, pl); err != nil {
 				panic(fmt.Sprintf("launch: claim after fit check failed: %v", err))
 			}
@@ -275,14 +471,26 @@ func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription, prefer [
 			}
 			return pl
 		}
+		if f := node.FreeCPU(); f > maxCPU {
+			maxCPU = f
+		}
+		if f := node.FreeGPU(); f > maxGPU {
+			maxGPU = f
+		}
 	}
+	// Full scan failed: remember the capacity maxima so equally-large
+	// requests skip the scan until something is released.
+	p.recordWatermark(maxCPU, maxGPU)
 	return nil
 }
 
-func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription, prefer []int) *platform.Placement {
+// perNodeFootprint returns the per-node cores/gpus demand of a multi-node
+// task: ranks spread evenly across the requested nodes, rounded up, with
+// CoresPerRank defaulting to 1 and Ranks defaulting to one per node. It is
+// the one place the footprint math lives (Fits and placeMultiNode share
+// it).
+func perNodeFootprint(td *spec.TaskDescription) (cores, gpus int) {
 	want := td.Nodes
-	spec := p.part.Cluster.Spec
-	// Per-node footprint: ranks spread evenly across nodes.
 	ranks := td.Ranks
 	if ranks <= 0 {
 		ranks = want
@@ -292,10 +500,18 @@ func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription, prefer []
 	if cpr <= 0 {
 		cpr = 1
 	}
-	coresPerNode := ranksPerNode * cpr
-	gpusPerNode := ranksPerNode * td.GPUsPerRank
+	return ranksPerNode * cpr, ranksPerNode * td.GPUsPerRank
+}
+
+func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription, prefer []int) *platform.Placement {
+	want := td.Nodes
+	spec := p.part.Cluster.Spec
+	coresPerNode, gpusPerNode := perNodeFootprint(td)
 	if coresPerNode > spec.Slots() || gpusPerNode > spec.GPUs {
 		panic(fmt.Sprintf("launch: task %s per-node footprint (%d cores, %d gpus) exceeds node", td.UID, coresPerNode, gpusPerNode))
+	}
+	if p.cannotFit(coresPerNode, gpusPerNode) {
+		return nil
 	}
 	var ids []int
 	taken := make(map[int]bool)
@@ -347,16 +563,8 @@ func (p *Placer) Fits(td *spec.TaskDescription) bool {
 		if td.Nodes > len(p.part.Nodes) {
 			return false
 		}
-		ranks := td.Ranks
-		if ranks <= 0 {
-			ranks = td.Nodes
-		}
-		ranksPerNode := (ranks + td.Nodes - 1) / td.Nodes
-		cpr := td.CoresPerRank
-		if cpr <= 0 {
-			cpr = 1
-		}
-		return ranksPerNode*cpr <= sp.Slots() && ranksPerNode*td.GPUsPerRank <= sp.GPUs
+		cores, gpus := perNodeFootprint(td)
+		return cores <= sp.Slots() && gpus <= sp.GPUs
 	}
 	return td.TotalCores() <= sp.Slots() && td.TotalGPUs() <= sp.GPUs
 }

@@ -1,6 +1,7 @@
 package launch
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -150,5 +151,266 @@ func TestPlacerNeverOversubscribes(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- Ring-buffer request queue ---
+
+func reqNamed(uid string, cores int) *Request {
+	return &Request{UID: uid, TD: &spec.TaskDescription{UID: uid, CoresPerRank: cores, Ranks: 1}}
+}
+
+func TestQueueFIFOAndPopAt(t *testing.T) {
+	var q Queue
+	for i := 0; i < 20; i++ {
+		q.Push(reqNamed(string(rune('a'+i)), 1))
+	}
+	if q.Len() != 20 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	// Remove from the middle, head, and tail; FIFO order of the rest
+	// must hold.
+	if r := q.PopAt(10); r.UID != "k" {
+		t.Fatalf("PopAt(10) = %s, want k", r.UID)
+	}
+	if r := q.PopAt(0); r.UID != "a" {
+		t.Fatalf("PopAt(0) = %s, want a", r.UID)
+	}
+	if r := q.PopAt(q.Len() - 1); r.UID != "t" {
+		t.Fatalf("PopAt(last) = %s, want t", r.UID)
+	}
+	want := "bcdefghijlmnopqrs"
+	got := ""
+	for q.Len() > 0 {
+		got += q.PopAt(0).UID
+	}
+	if got != want {
+		t.Fatalf("drain order %q, want %q", got, want)
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	var q Queue
+	// Force head to wander around the ring.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(reqNamed("x", 1))
+		}
+		q.PopAt(0)
+		q.PopAt(0)
+	}
+	if q.Len() != 50 {
+		t.Fatalf("len = %d, want 50", q.Len())
+	}
+	out := q.TakeAll()
+	if len(out) != 50 || q.Len() != 0 {
+		t.Fatalf("TakeAll -> %d, len %d", len(out), q.Len())
+	}
+}
+
+func TestQueueHintedCount(t *testing.T) {
+	var q Queue
+	plain := reqNamed("p", 1)
+	hinted := reqNamed("h", 1)
+	hinted.Prefer = func() []int { return []int{0} }
+	q.Push(plain)
+	q.Push(hinted)
+	if q.HintedLen() != 1 {
+		t.Fatalf("hinted = %d, want 1", q.HintedLen())
+	}
+	q.PopAt(1)
+	if q.HintedLen() != 0 {
+		t.Fatalf("hinted after pop = %d, want 0", q.HintedLen())
+	}
+	q.Push(hinted)
+	q.TakeAll()
+	if q.HintedLen() != 0 {
+		t.Fatalf("hinted after TakeAll = %d, want 0", q.HintedLen())
+	}
+}
+
+// --- NextRequest selection ordering ---
+
+// fullNodePlacer returns a placer over n one-task-wide nodes: each node
+// fits exactly one 56-core task, making head-of-line blocking easy to
+// stage.
+func selPlacer(n int) *Placer {
+	cluster := platform.NewCluster(platform.Frontier(1), n)
+	return NewPlacer(cluster.Allocate(n))
+}
+
+// TestNextRequestAffinityBeatsHead frees capacity on a hinted node and
+// checks the younger hinted request wins over the older unhinted head.
+func TestNextRequestAffinityBeatsHead(t *testing.T) {
+	p := selPlacer(2)
+	// Fill node 0 so only node 1 has room.
+	if pl := p.Place(0, &spec.TaskDescription{CoresPerRank: 56, Ranks: 1}); pl == nil {
+		t.Fatal("setup placement failed")
+	}
+	var q Queue
+	// Head wants a full node — node 1 could host it, but the hinted
+	// request targets node 1 and must win the slot.
+	head := reqNamed("head", 56)
+	aff := reqNamed("aff", 56)
+	aff.Prefer = func() []int { return []int{1} }
+	q.Push(head)
+	q.Push(aff)
+	idx, pl := p.NextRequest(0, &q, 0)
+	if idx != 1 || pl == nil {
+		t.Fatalf("NextRequest = (%d, %v), want affinity entry 1", idx, pl)
+	}
+	if pl.NodeIDs[0] != 1 {
+		t.Fatalf("affinity request placed on node %d, want 1", pl.NodeIDs[0])
+	}
+	if r := q.PopAt(idx); r.UID != "aff" {
+		t.Fatalf("selected %s, want aff", r.UID)
+	}
+}
+
+// TestNextRequestBackfillBound checks a blocked head lets at most
+// `backfill` younger entries through, in order.
+func TestNextRequestBackfillBound(t *testing.T) {
+	p := selPlacer(1)
+	var q Queue
+	q.Push(reqNamed("big", 56))   // head: needs the whole node
+	q.Push(reqNamed("big2", 56))  // also full-node
+	q.Push(reqNamed("small", 8))  // would fit alongside nothing — node empty, fits
+	q.Push(reqNamed("small2", 8)) // beyond the backfill window
+	// Claim 8 cores so the full-node heads are blocked but smalls fit.
+	if pl := p.Place(0, &spec.TaskDescription{CoresPerRank: 8, Ranks: 1}); pl == nil {
+		t.Fatal("setup placement failed")
+	}
+	// backfill 0: strict head-of-line, nothing places.
+	if idx, pl := p.NextRequest(0, &q, 0); pl != nil {
+		t.Fatalf("backfill=0 placed entry %d", idx)
+	}
+	// backfill 1: window covers big2 only — still blocked.
+	if idx, pl := p.NextRequest(0, &q, 1); pl != nil {
+		t.Fatalf("backfill=1 placed entry %d", idx)
+	}
+	// backfill 2: small (entry 2) may jump.
+	idx, pl := p.NextRequest(0, &q, 2)
+	if pl == nil || idx != 2 {
+		t.Fatalf("backfill=2: got (%d, %v), want entry 2", idx, pl)
+	}
+}
+
+// TestNextRequestHintlessMatchesFCFS drives the same request stream
+// through NextRequest and a plain FCFS head-pop and requires identical
+// placement decisions (the byte-identical legacy path).
+func TestNextRequestHintlessMatchesFCFS(t *testing.T) {
+	build := func() []*Request {
+		var reqs []*Request
+		sizes := []int{8, 56, 16, 56, 28, 8, 56, 4, 32, 56, 16, 8}
+		for i, c := range sizes {
+			reqs = append(reqs, reqNamed(fmt.Sprintf("t%02d.%d", i, c), c))
+		}
+		return reqs
+	}
+	// Reference: strict FCFS with head-of-line blocking.
+	ref := selPlacer(2)
+	var refOrder []string
+	{
+		reqs := build()
+		head := 0
+		for head < len(reqs) {
+			r := reqs[head]
+			pl := ref.Place(0, r.TD)
+			if pl == nil {
+				break
+			}
+			refOrder = append(refOrder, r.UID+"@"+itoa(pl.NodeIDs[0]))
+			head++
+		}
+	}
+	// NextRequest with zero backfill over the shared queue.
+	p := selPlacer(2)
+	var q Queue
+	for _, r := range build() {
+		q.Push(r)
+	}
+	var got []string
+	for q.Len() > 0 {
+		r, pl := p.PopNext(0, &q, 0)
+		if pl == nil {
+			break
+		}
+		got = append(got, r.UID+"@"+itoa(pl.NodeIDs[0]))
+	}
+	if len(got) != len(refOrder) {
+		t.Fatalf("placed %d, FCFS reference placed %d", len(got), len(refOrder))
+	}
+	for i := range got {
+		if got[i] != refOrder[i] {
+			t.Fatalf("decision %d: %s, FCFS reference %s", i, got[i], refOrder[i])
+		}
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// --- Capacity watermark cache ---
+
+// TestWatermarkInvalidatedByRelease fills the partition, observes the
+// fast-fail, then releases and requires placement to succeed again.
+func TestWatermarkInvalidatedByRelease(t *testing.T) {
+	p := selPlacer(2)
+	td := &spec.TaskDescription{CoresPerRank: 56, Ranks: 1}
+	pl1 := p.Place(0, td)
+	pl2 := p.Place(0, td)
+	if pl1 == nil || pl2 == nil {
+		t.Fatal("setup placements failed")
+	}
+	if pl := p.Place(0, td); pl != nil {
+		t.Fatal("placement on full partition succeeded")
+	}
+	// Second attempt exercises the cached fast path.
+	if pl := p.Place(0, td); pl != nil {
+		t.Fatal("cached fast path placed on full partition")
+	}
+	p.Partition().Release(0, pl1)
+	pl3 := p.Place(0, td)
+	if pl3 == nil {
+		t.Fatal("placement after release failed: watermark not invalidated")
+	}
+	if pl3.NodeIDs[0] != pl1.NodeIDs[0] {
+		t.Fatalf("placed on node %d, want freed node %d", pl3.NodeIDs[0], pl1.NodeIDs[0])
+	}
+}
+
+// --- Per-node footprint helper ---
+
+// TestPerNodeFootprintRounding covers the ranks/cores/gpus rounding edge
+// cases shared by Fits and placeMultiNode.
+func TestPerNodeFootprintRounding(t *testing.T) {
+	cases := []struct {
+		name  string
+		td    spec.TaskDescription
+		cores int
+		gpus  int
+	}{
+		{"even split", spec.TaskDescription{Nodes: 4, Ranks: 8, CoresPerRank: 2, GPUsPerRank: 1}, 4, 2},
+		{"uneven ranks round up", spec.TaskDescription{Nodes: 4, Ranks: 9, CoresPerRank: 2, GPUsPerRank: 1}, 6, 3},
+		{"ranks default to nodes", spec.TaskDescription{Nodes: 3, CoresPerRank: 4}, 4, 0},
+		{"cores default to one", spec.TaskDescription{Nodes: 2, Ranks: 5}, 3, 0},
+		{"fewer ranks than nodes", spec.TaskDescription{Nodes: 4, Ranks: 2, CoresPerRank: 7, GPUsPerRank: 2}, 7, 2},
+		{"gpu heavy", spec.TaskDescription{Nodes: 2, Ranks: 3, CoresPerRank: 1, GPUsPerRank: 4}, 2, 8},
+	}
+	for _, c := range cases {
+		cores, gpus := perNodeFootprint(&c.td)
+		if cores != c.cores || gpus != c.gpus {
+			t.Errorf("%s: footprint = (%d, %d), want (%d, %d)", c.name, cores, gpus, c.cores, c.gpus)
+		}
+	}
+	// Fits must agree with the helper on the rounded footprint.
+	p := selPlacer(4)
+	td := &spec.TaskDescription{Nodes: 4, Ranks: 9, CoresPerRank: 19, GPUsPerRank: 0}
+	// 3 ranks/node × 19 cores = 57 > 56 slots.
+	if p.Fits(td) {
+		t.Fatal("Fits accepted a footprint exceeding node slots")
+	}
+	td.CoresPerRank = 18 // 54 ≤ 56
+	if !p.Fits(td) {
+		t.Fatal("Fits rejected a valid rounded footprint")
 	}
 }

@@ -70,7 +70,17 @@ func (n *Node) Exclusive() bool { return n.allocated }
 type Cluster struct {
 	Spec  NodeSpec
 	nodes []*Node
+	// epoch counts capacity increases (releases). Placers cache negative
+	// placement results ("nothing ≥ this size fits") tagged with the
+	// epoch; any release invalidates those caches, claims never do —
+	// claims only shrink capacity, so a cached "cannot fit" stays true.
+	epoch uint64
 }
+
+// Epoch returns the capacity epoch: it increments whenever slots are
+// released anywhere on the cluster (including through nested allocations
+// that share node ledgers).
+func (c *Cluster) Epoch() uint64 { return c.epoch }
 
 // NewCluster builds a cluster of n nodes with the given spec.
 func NewCluster(spec NodeSpec, n int) *Cluster {
@@ -176,6 +186,12 @@ func (a *Allocation) Slice(start, n int) *Allocation {
 }
 
 // Placement is a concrete resource assignment for one task.
+//
+// Single-node placements — the overwhelmingly common case — should be
+// built with NewSingleNodePlacement, which backs the three slices with
+// inline storage so the whole placement is one allocation. Placement is
+// always handled by pointer; copying a value would leave the slices
+// aliased to the original's inline arrays.
 type Placement struct {
 	// NodeIDs lists the nodes involved.
 	NodeIDs []int
@@ -183,6 +199,20 @@ type Placement struct {
 	// NodeIDs (parallel slices).
 	CPUSlots []int
 	GPUSlots []int
+
+	// Inline backing for single-node placements.
+	idArr, cpuArr, gpuArr [1]int
+}
+
+// NewSingleNodePlacement returns a one-node placement with inline slice
+// storage (a single heap allocation).
+func NewSingleNodePlacement(nodeID, cores, gpus int) *Placement {
+	p := &Placement{}
+	p.idArr[0], p.cpuArr[0], p.gpuArr[0] = nodeID, cores, gpus
+	p.NodeIDs = p.idArr[:]
+	p.CPUSlots = p.cpuArr[:]
+	p.GPUSlots = p.gpuArr[:]
+	return p
 }
 
 // TotalCPU returns the total CPU slots claimed.
@@ -225,7 +255,8 @@ func (a *Allocation) Claim(at sim.Time, p *Placement) error {
 	return nil
 }
 
-// Release returns the placement's slots to the free pool.
+// Release returns the placement's slots to the free pool and advances the
+// cluster's capacity epoch (invalidating placers' negative-fit caches).
 func (a *Allocation) Release(at sim.Time, p *Placement) {
 	for i, id := range p.NodeIDs {
 		n := a.Cluster.nodes[id]
@@ -235,6 +266,7 @@ func (a *Allocation) Release(at sim.Time, p *Placement) {
 			panic(fmt.Sprintf("platform: double release on node %d", id))
 		}
 	}
+	a.Cluster.epoch++
 	_ = at
 }
 

@@ -147,6 +147,9 @@ type Event struct {
 type Profiler struct {
 	traces map[string]*TaskTrace
 	order  []*TaskTrace
+	// arena chunks TaskTrace storage so tracing n tasks costs n/chunk
+	// allocations instead of n (the largest campaigns trace >200k tasks).
+	arena []TaskTrace
 
 	// RecordEvents enables the full event log; compact traces are always
 	// collected.
@@ -167,7 +170,20 @@ func (p *Profiler) Task(uid string) *TaskTrace {
 	if t, ok := p.traces[uid]; ok {
 		return t
 	}
-	t := NewTaskTrace(uid)
+	if len(p.arena) == 0 {
+		p.arena = make([]TaskTrace, 512)
+	}
+	t := &p.arena[0]
+	p.arena = p.arena[1:]
+	*t = TaskTrace{
+		UID:       uid,
+		Submit:    unset,
+		Scheduled: unset,
+		Launch:    unset,
+		Start:     unset,
+		End:       unset,
+		Final:     unset,
+	}
 	p.traces[uid] = t
 	p.order = append(p.order, t)
 	return t

@@ -66,8 +66,8 @@ type DVM struct {
 	util   *platform.UtilizationTracker
 	rand   *rng.Stream
 
-	queue   []*launch.Request
-	running map[*launch.Request]*platform.Placement
+	queue   launch.Queue
+	running []*dvmLaunch
 
 	ready       bool
 	readyFns    []func()
@@ -81,6 +81,10 @@ type DVM struct {
 	crashed  bool
 	stats    launch.Stats
 
+	// Prebound hot-path callbacks for the engine's pooled events.
+	execFn func(any)
+	doneFn func(any)
+
 	// OnException reports DVM-level failures to the executor.
 	OnException func(reason string)
 }
@@ -88,23 +92,26 @@ type DVM struct {
 type dvmLaunch struct {
 	r  *launch.Request
 	pl *platform.Placement
+	// runIdx is the slot in the DVM's running list, -1 when not running.
+	runIdx int
 }
 
 // NewDVM creates and boots a DVM over the partition.
 func NewDVM(name string, params Params, eng *sim.Engine, ctrl *slurm.Controller,
 	part *platform.Allocation, util *platform.UtilizationTracker, src *rng.Source) *DVM {
 	d := &DVM{
-		name:    name,
-		eng:     eng,
-		params:  params,
-		ctrl:    ctrl,
-		plc:     launch.NewPlacer(part),
-		util:    util,
-		rand:    src.Stream("prrte." + name),
-		running: make(map[*launch.Request]*platform.Placement),
-		t0:      eng.Now(),
+		name:   name,
+		eng:    eng,
+		params: params,
+		ctrl:   ctrl,
+		plc:    launch.NewPlacer(part),
+		util:   util,
+		rand:   src.Stream("prrte." + name),
+		t0:     eng.Now(),
 	}
 	d.rateMult = d.rand.LogNormal(1, params.RunSigma)
+	d.execFn = d.prunExec
+	d.doneFn = d.taskDone
 	d.launcher = sim.NewServer(eng, 1, d.serviceTime, d.launched)
 	d.boot()
 	return d
@@ -161,7 +168,7 @@ func (d *DVM) BootstrapOverhead() sim.Duration { return d.bootstrap }
 // Stats implements launch.Launcher.
 func (d *DVM) Stats() launch.Stats {
 	st := d.stats
-	st.QueueLen = len(d.queue)
+	st.QueueLen = d.queue.Len()
 	return st
 }
 
@@ -179,15 +186,13 @@ func (d *DVM) Submit(r *launch.Request) {
 		d.fail(r, fmt.Sprintf("task %s cannot fit DVM partition of %d nodes", r.UID, d.Nodes()))
 		return
 	}
-	d.queue = append(d.queue, r)
+	d.queue.Push(r)
 	d.pump()
 }
 
 // Drain implements launch.Launcher.
 func (d *DVM) Drain(reason string) {
-	q := d.queue
-	d.queue = nil
-	for _, r := range q {
+	for _, r := range d.queue.TakeAll() {
 		d.fail(r, reason)
 	}
 }
@@ -204,13 +209,15 @@ func (d *DVM) Crash(reason string) {
 	}
 	d.Drain(reason)
 	now := d.eng.Now()
-	for r, pl := range d.running {
-		delete(d.running, r)
+	run := d.running
+	d.running = nil
+	for _, l := range run {
+		l.runIdx = -1
 		if d.util != nil {
-			d.util.Remove(now, pl.TotalCPU(), pl.TotalGPU())
+			d.util.Remove(now, l.pl.TotalCPU(), l.pl.TotalGPU())
 		}
-		d.plc.Partition().Release(now, pl)
-		d.fail(r, reason)
+		d.plc.Partition().Release(now, l.pl)
+		d.fail(l.r, reason)
 	}
 	if d.OnException != nil {
 		d.OnException(reason)
@@ -229,7 +236,7 @@ func (d *DVM) Shutdown() {
 func (d *DVM) fail(r *launch.Request, reason string) {
 	d.stats.Failed++
 	at := d.eng.Now()
-	d.eng.Immediately(func() { r.OnComplete(at, true, reason) })
+	d.eng.Immediately(func() { r.NotifyComplete(at, true, reason) })
 }
 
 // pump places queued tasks (RP-side placement: PRRTE has no scheduler) and
@@ -238,15 +245,24 @@ func (d *DVM) pump() {
 	if !d.ready || d.crashed {
 		return
 	}
-	for len(d.queue) > 0 {
-		idx, pl := d.plc.NextRequest(d.eng.Now(), d.queue, 0)
+	for d.queue.Len() > 0 {
+		r, pl := d.plc.PopNext(d.eng.Now(), &d.queue, 0)
 		if pl == nil {
 			return
 		}
-		r := d.queue[idx]
-		d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
-		d.launcher.Submit(&dvmLaunch{r: r, pl: pl})
+		d.launcher.Submit(&dvmLaunch{r: r, pl: pl, runIdx: -1})
 	}
+}
+
+// removeRunning swap-deletes a launch from the running list in O(1).
+func (d *DVM) removeRunning(l *dvmLaunch) {
+	last := len(d.running) - 1
+	moved := d.running[last]
+	d.running[l.runIdx] = moved
+	moved.runIdx = l.runIdx
+	d.running[last] = nil
+	d.running = d.running[:last]
+	l.runIdx = -1
 }
 
 func (d *DVM) serviceTime(*dvmLaunch) sim.Duration {
@@ -260,32 +276,41 @@ func (d *DVM) launched(l *dvmLaunch) {
 		return
 	}
 	lat := d.rand.LogNormal(d.params.PrunLatencyMedian, d.params.PrunLatencySigma)
-	d.eng.After(sim.Seconds(lat), func() {
-		if d.crashed {
-			d.plc.Partition().Release(d.eng.Now(), l.pl)
-			d.fail(l.r, "prrte DVM down")
-			return
-		}
-		now := d.eng.Now()
-		d.stats.Started++
-		d.running[l.r] = l.pl
-		if d.util != nil {
-			d.util.Add(now, l.pl.TotalCPU(), l.pl.TotalGPU())
-		}
-		l.r.OnStart(now)
-		l.r.StartBody(d.eng, func() {
-			if _, ok := d.running[l.r]; !ok {
-				return
-			}
-			delete(d.running, l.r)
-			end := d.eng.Now()
-			if d.util != nil {
-				d.util.Remove(end, l.pl.TotalCPU(), l.pl.TotalGPU())
-			}
-			d.plc.Partition().Release(end, l.pl)
-			d.stats.Completed++
-			l.r.OnComplete(end, false, "")
-			d.pump()
-		})
-	})
+	d.eng.AfterCall(sim.Seconds(lat), d.execFn, l)
+}
+
+// prunExec runs when the prun client hands the task to the DVM daemons.
+func (d *DVM) prunExec(arg any) {
+	l := arg.(*dvmLaunch)
+	if d.crashed {
+		d.plc.Partition().Release(d.eng.Now(), l.pl)
+		d.fail(l.r, "prrte DVM down")
+		return
+	}
+	now := d.eng.Now()
+	d.stats.Started++
+	l.runIdx = len(d.running)
+	d.running = append(d.running, l)
+	if d.util != nil {
+		d.util.Add(now, l.pl.TotalCPU(), l.pl.TotalGPU())
+	}
+	l.r.NotifyStart(now)
+	l.r.StartBodyCall(d.eng, d.doneFn, l)
+}
+
+// taskDone runs when the task's process body ends.
+func (d *DVM) taskDone(arg any) {
+	l := arg.(*dvmLaunch)
+	if l.runIdx < 0 {
+		return
+	}
+	d.removeRunning(l)
+	end := d.eng.Now()
+	if d.util != nil {
+		d.util.Remove(end, l.pl.TotalCPU(), l.pl.TotalGPU())
+	}
+	d.plc.Partition().Release(end, l.pl)
+	d.stats.Completed++
+	l.r.NotifyComplete(end, false, "")
+	d.pump()
 }

@@ -115,9 +115,9 @@ type Endpoint struct {
 
 	lastScaleUp   sim.Time
 	lastScaleDown sim.Time
-	windowTimer   *sim.Timer
-	upTimer       *sim.Timer
-	downTimer     *sim.Timer
+	windowTimer   sim.Timer
+	upTimer       sim.Timer
+	downTimer     sim.Timer
 
 	readyFns []func()
 	ready    bool
@@ -232,7 +232,6 @@ func (e *Endpoint) Close() {
 		// Drain mode: stop holding under-full batches open — dispatch
 		// what is queued now; completeBatch stops replicas once empty.
 		e.windowTimer.Stop()
-		e.windowTimer = nil
 		e.pump()
 	}
 	if len(e.queue) == 0 {
@@ -436,11 +435,8 @@ func (e *Endpoint) pump() {
 		if n < cap && e.desc.BatchWindow > 0 && !e.closed {
 			deadline := e.queue[0].issued.Add(e.desc.BatchWindow)
 			if e.eng.Now() < deadline {
-				if e.windowTimer == nil {
-					e.windowTimer = e.eng.At(deadline, func() {
-						e.windowTimer = nil
-						e.pump()
-					})
+				if !e.windowTimer.Pending() {
+					e.windowTimer = e.eng.At(deadline, e.pump)
 				}
 				return
 			}
@@ -528,11 +524,8 @@ func (e *Endpoint) considerScaleUp() {
 	}
 	now := e.eng.Now()
 	if wait := e.lastScaleUp.Add(e.desc.Cooldown()); now < wait {
-		if e.upTimer == nil {
-			e.upTimer = e.eng.At(wait, func() {
-				e.upTimer = nil
-				e.considerScaleUp()
-			})
+		if !e.upTimer.Pending() {
+			e.upTimer = e.eng.At(wait, e.considerScaleUp)
 		}
 		return
 	}
@@ -579,11 +572,8 @@ func (e *Endpoint) considerScaleDown() {
 		last = e.lastScaleUp
 	}
 	if wait := last.Add(e.desc.Cooldown()); now < wait {
-		if e.downTimer == nil {
-			e.downTimer = e.eng.At(wait, func() {
-				e.downTimer = nil
-				e.considerScaleDown()
-			})
+		if !e.downTimer.Pending() {
+			e.downTimer = e.eng.At(wait, e.considerScaleDown)
 		}
 		return
 	}

@@ -5,10 +5,17 @@
 // sequence), and all components are single-threaded state machines. Given
 // the same seed and the same sequence of Schedule calls, a simulation run is
 // bit-for-bit reproducible, which the test suite relies on.
+//
+// The event core is allocation-lean: scheduled callbacks live in a pooled
+// slot arena reused through a free list, the priority queue is a value-based
+// 4-ary heap (no per-event heap allocation, no interface boxing), and Timer
+// handles are generation-tagged values so Stop stays safe against slot
+// reuse. Cancellation is lazy — a cancelled slot is recycled immediately
+// and its stale heap entry is recognized by generation mismatch on pop —
+// which keeps Stop O(1) without disturbing heap order.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -55,71 +62,70 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
 func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Seconds()) }
 
-// event is a scheduled callback.
-type event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 when popped or cancelled
-	cancel bool
+// eventSlot is pooled storage for one scheduled callback. Slots are reused
+// through a free list; gen increments on every recycle so stale handles and
+// stale heap entries can never touch a successor event.
+type eventSlot struct {
+	fn    func()
+	fnArg func(any)
+	arg   any
+	gen   uint32
 }
 
-// eventHeap orders events by (at, seq) so same-time events fire in the order
-// they were scheduled, which keeps runs deterministic.
-type eventHeap []*event
+// heapEntry is one value entry in the 4-ary event heap. Entries order by
+// (at, seq) so same-time events fire in the order they were scheduled,
+// which keeps runs deterministic. The (slot, gen) pair resolves the
+// callback; a gen mismatch on pop marks a cancelled event.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+	gen  uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a generation-tagged handle to a scheduled event. It is a value:
+// copying is cheap and the zero Timer is inert (Stop reports false,
+// Pending reports false).
 type Timer struct {
-	ev *event
+	eng  *Engine
+	slot int32
+	gen  uint32
 }
 
-// Stop cancels the timer. It reports whether the callback was still pending;
-// stopping an already-fired or already-stopped timer returns false and has
-// no effect. (A fired event has fn == nil: step clears it before running.)
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancel || t.ev.fn == nil {
+// Stop cancels the timer. It reports whether the callback was still
+// pending; stopping an already-fired or already-stopped timer returns false
+// and has no effect, even if the underlying pooled slot has since been
+// reused by a later event (the generation tag distinguishes them).
+func (t Timer) Stop() bool {
+	if t.eng == nil || t.eng.slots[t.slot].gen != t.gen {
 		return false
 	}
-	t.ev.cancel = true
+	t.eng.freeSlot(t.slot)
+	t.eng.pending--
 	return true
+}
+
+// Pending reports whether the timer's callback is still scheduled (not yet
+// fired, not stopped).
+func (t Timer) Pending() bool {
+	return t.eng != nil && t.eng.slots[t.slot].gen == t.gen
 }
 
 // Engine is the discrete-event simulation core.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []heapEntry
+	slots   []eventSlot
+	free    []int32
+	pending int
 	running bool
 	steps   uint64
 	// MaxSteps aborts Run with a panic if the event count exceeds it.
@@ -139,34 +145,52 @@ func (e *Engine) Now() Time { return e.now }
 // Steps returns the number of events processed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
-// Pending returns the number of scheduled, uncancelled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancel {
-			n++
-		}
+// Pending returns the number of scheduled, uncancelled events. The counter
+// is maintained on schedule, fire and cancel, so the call is O(1).
+func (e *Engine) Pending() int { return e.pending }
+
+// schedule allocates a pooled slot for the callback and pushes its heap
+// entry. Exactly one of fn / fnArg is non-nil.
+func (e *Engine) schedule(at Time, fn func(), fnArg func(any), arg any) Timer {
+	if at < e.now {
+		at = e.now
 	}
-	return n
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		slot = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[slot]
+	s.fn, s.fnArg, s.arg = fn, fnArg, arg
+	e.heapPush(heapEntry{at: at, seq: e.seq, slot: slot, gen: s.gen})
+	e.seq++
+	e.pending++
+	return Timer{eng: e, slot: slot, gen: s.gen}
+}
+
+// freeSlot recycles a slot: the generation bump invalidates every
+// outstanding Timer handle and heap entry that references it.
+func (e *Engine) freeSlot(slot int32) {
+	s := &e.slots[slot]
+	s.gen++
+	s.fn, s.fnArg, s.arg = nil, nil, nil
+	e.free = append(e.free, slot)
 }
 
 // At schedules fn to run at absolute time at. Times in the past run at the
 // current time (never before: virtual time is monotone).
-func (e *Engine) At(at Time, fn func()) *Timer {
+func (e *Engine) At(at Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
-	if at < e.now {
-		at = e.now
-	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return e.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -175,28 +199,106 @@ func (e *Engine) After(d Duration, fn func()) *Timer {
 
 // Immediately schedules fn at the current time, after already-queued
 // same-time events.
-func (e *Engine) Immediately(fn func()) *Timer {
+func (e *Engine) Immediately(fn func()) Timer {
 	return e.At(e.now, fn)
+}
+
+// AtCall schedules fn(arg) at absolute time at. It exists for hot paths:
+// when the callback state is a single pointer, passing it as arg avoids
+// the closure allocation that At would force on the caller (fn can be a
+// long-lived func value shared by every call site).
+func (e *Engine) AtCall(at Time, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: AtCall with nil callback")
+	}
+	return e.schedule(at, nil, fn, arg)
+}
+
+// AfterCall schedules fn(arg) to run d after the current time.
+func (e *Engine) AfterCall(d Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtCall(e.now.Add(d), fn, arg)
+}
+
+// ImmediatelyCall schedules fn(arg) at the current time, after
+// already-queued same-time events.
+func (e *Engine) ImmediatelyCall(fn func(any), arg any) Timer {
+	return e.AtCall(e.now, fn, arg)
+}
+
+// heapPush appends an entry and sifts it up the 4-ary heap.
+func (e *Engine) heapPush(ent heapEntry) {
+	e.heap = append(e.heap, ent)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(e.heap[i], e.heap[p]) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+// heapPop removes the minimum entry, sifting the tail element down.
+func (e *Engine) heapPop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n <= 1 {
+		return
+	}
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(e.heap[j], e.heap[m]) {
+				m = j
+			}
+		}
+		if !entryLess(e.heap[m], e.heap[i]) {
+			break
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
+	}
 }
 
 // step pops and runs one event. It reports false when no events remain.
 func (e *Engine) step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancel {
-			continue
+	for len(e.heap) > 0 {
+		ent := e.heap[0]
+		e.heapPop()
+		s := &e.slots[ent.slot]
+		if s.gen != ent.gen {
+			continue // cancelled: slot already recycled
 		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
+		if ent.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ent.at, e.now))
 		}
-		e.now = ev.at
+		e.now = ent.at
 		e.steps++
 		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
 			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
 		}
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		fn, fnArg, arg := s.fn, s.fnArg, s.arg
+		e.freeSlot(ent.slot)
+		e.pending--
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -221,14 +323,14 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		// Peek at the earliest uncancelled event.
-		ev := e.events[0]
-		if ev.cancel {
-			heap.Pop(&e.events)
+	for len(e.heap) > 0 {
+		// Peek at the earliest live (uncancelled) entry.
+		ent := e.heap[0]
+		if e.slots[ent.slot].gen != ent.gen {
+			e.heapPop()
 			continue
 		}
-		if ev.at > deadline {
+		if ent.at > deadline {
 			break
 		}
 		e.step()

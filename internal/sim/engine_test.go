@@ -241,3 +241,123 @@ func TestEngineDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// --- Pooled-slot Timer semantics: Stop must stay safe under slot reuse ---
+
+// TestTimerStopAfterReuse fires a timer, schedules a new event that reuses
+// the freed slot, and checks the stale handle cannot cancel the successor.
+func TestTimerStopAfterReuse(t *testing.T) {
+	e := NewEngine()
+	old := e.After(Second, func() {})
+	e.Run() // fires; slot returns to the free list
+	fired := false
+	fresh := e.After(Second, func() { fired = true })
+	if old.Stop() {
+		t.Fatal("stale handle stopped a reused slot")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("successor event did not fire")
+	}
+	_ = fresh
+}
+
+// TestTimerStopThenReschedule cancels a timer and immediately schedules a
+// replacement; the replacement typically reuses the cancelled slot, and
+// both handles must keep independent semantics.
+func TestTimerStopThenReschedule(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	t1 := e.After(Second, func() { got = append(got, "old") })
+	if !t1.Stop() {
+		t.Fatal("Stop on pending timer")
+	}
+	t2 := e.After(2*Second, func() { got = append(got, "new") })
+	if t1.Stop() {
+		t.Fatal("double Stop returned true")
+	}
+	if t1.Pending() {
+		t.Fatal("stopped timer reports Pending")
+	}
+	if !t2.Pending() {
+		t.Fatal("fresh timer must report Pending")
+	}
+	e.Run()
+	if len(got) != 1 || got[0] != "new" {
+		t.Fatalf("got %v, want [new]", got)
+	}
+	if t2.Pending() {
+		t.Fatal("fired timer reports Pending")
+	}
+}
+
+// TestPendingCounterLive exercises the O(1) Pending counter across
+// schedule, fire, and cancel, including pooled AfterCall events.
+func TestPendingCounterLive(t *testing.T) {
+	e := NewEngine()
+	timers := make([]Timer, 0, 10)
+	for i := 0; i < 10; i++ {
+		timers = append(timers, e.After(Duration(i+1)*Second, func() {}))
+	}
+	e.AfterCall(11*Second, func(any) {}, nil)
+	if e.Pending() != 11 {
+		t.Fatalf("pending = %d, want 11", e.Pending())
+	}
+	for _, tm := range timers[:5] {
+		tm.Stop()
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending after cancels = %d, want 6", e.Pending())
+	}
+	e.RunUntil(Time(7 * Second))
+	if e.Pending() != 4 {
+		t.Fatalf("pending after partial run = %d, want 4", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+// TestAfterCallArg checks the allocation-free arg-carrying variant passes
+// its payload through the pooled slot.
+func TestAfterCallArg(t *testing.T) {
+	e := NewEngine()
+	type payload struct{ n int }
+	p := &payload{n: 41}
+	e.AfterCall(Second, func(arg any) { arg.(*payload).n++ }, p)
+	e.Run()
+	if p.n != 42 {
+		t.Fatalf("payload = %d, want 42", p.n)
+	}
+}
+
+// TestHeapStressDeterminism pounds the pooled 4-ary heap with interleaved
+// schedules and cancels and verifies the fire order matches (at, seq).
+func TestHeapStressDeterminism(t *testing.T) {
+	run := func() []int {
+		r := rand.New(rand.NewSource(7))
+		e := NewEngine()
+		var order []int
+		var live []Timer
+		for i := 0; i < 2000; i++ {
+			i := i
+			tm := e.After(Duration(r.Intn(50))*Millisecond, func() { order = append(order, i) })
+			live = append(live, tm)
+			if r.Intn(4) == 0 && len(live) > 1 {
+				live[r.Intn(len(live))].Stop()
+			}
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverge at %d", i)
+		}
+	}
+}

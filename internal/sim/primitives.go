@@ -159,6 +159,9 @@ type FIFO[T any] struct {
 	items    []T
 	pull     func(T)
 	draining bool
+	// deliverFn is the prebound deliver method, so scheduling a delivery
+	// does not allocate a fresh method value per event.
+	deliverFn func()
 	// Depth metrics for overhead analysis.
 	HighWater int
 	pushed    uint64
@@ -167,7 +170,9 @@ type FIFO[T any] struct {
 
 // NewFIFO returns an empty queue bound to the engine.
 func NewFIFO[T any](eng *Engine) *FIFO[T] {
-	return &FIFO[T]{eng: eng}
+	q := &FIFO[T]{eng: eng}
+	q.deliverFn = q.deliver
+	return q
 }
 
 // Len returns the number of queued items.
@@ -204,7 +209,7 @@ func (q *FIFO[T]) kick() {
 		return
 	}
 	q.draining = true
-	q.eng.Immediately(q.deliver)
+	q.eng.Immediately(q.deliverFn)
 }
 
 func (q *FIFO[T]) deliver() {
@@ -219,7 +224,7 @@ func (q *FIFO[T]) deliver() {
 	q.popped++
 	q.pull(item)
 	if len(q.items) > 0 {
-		q.eng.Immediately(q.deliver)
+		q.eng.Immediately(q.deliverFn)
 	} else {
 		q.draining = false
 	}
@@ -229,21 +234,32 @@ func (q *FIFO[T]) deliver() {
 // and a per-item service-time function. It is the building block for the
 // Slurm step registrar (1 server, rate degrading with allocation size) and
 // the Dragon dispatcher (1 server, constant rate).
+//
+// The station is allocation-lean: waiting items live by value in a FIFO
+// slice, in-service items by value in a per-server slot array, and service
+// completion is scheduled through AfterCall with the slot index as the
+// argument — small ints box for free, so a pass through the station costs
+// no per-item heap allocation.
 type Server[T any] struct {
 	eng      *Engine
 	servers  int
 	busy     int
 	queue    []serverItem[T]
+	qhead    int
 	service  func(T) Duration
 	complete func(T)
-	// Busy-time accounting for utilization analysis.
-	busySince map[int]Time
+	// inService holds the item each busy server slot is working on;
+	// slotBusy marks occupancy. finishFn is the prebound completion.
+	inService []serverItem[T]
+	slotBusy  []bool
+	finishFn  func(any)
 	busyTotal Duration
 }
 
 type serverItem[T any] struct {
 	item T
 	fn   func(T) // optional per-item completion override
+	d    Duration
 }
 
 // NewServer returns a station with n parallel servers. service returns the
@@ -256,11 +272,17 @@ func NewServer[T any](eng *Engine, n int, service func(T) Duration, complete fun
 	if service == nil {
 		panic("sim: Server needs a service function")
 	}
-	return &Server[T]{eng: eng, servers: n, service: service, complete: complete}
+	s := &Server[T]{
+		eng: eng, servers: n, service: service, complete: complete,
+		inService: make([]serverItem[T], n),
+		slotBusy:  make([]bool, n),
+	}
+	s.finishFn = s.finish
+	return s
 }
 
 // QueueLen returns the number of items waiting (not in service).
-func (s *Server[T]) QueueLen() int { return len(s.queue) }
+func (s *Server[T]) QueueLen() int { return len(s.queue) - s.qhead }
 
 // Busy returns the number of items in service.
 func (s *Server[T]) Busy() int { return s.busy }
@@ -282,24 +304,59 @@ func (s *Server[T]) SubmitFunc(item T, fn func(T)) {
 }
 
 func (s *Server[T]) pump() {
-	for s.busy < s.servers && len(s.queue) > 0 {
-		it := s.queue[0]
-		s.queue = s.queue[1:]
+	for s.busy < s.servers && s.qhead < len(s.queue) {
+		it := s.queue[s.qhead]
+		var zero serverItem[T]
+		s.queue[s.qhead] = zero
+		s.qhead++
+		// Compact the drained prefix so memory tracks the live
+		// backlog, not the cumulative submission count: reset when
+		// empty, shift when the dead prefix passes half the slice.
+		if s.qhead == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.qhead = 0
+		} else if s.qhead > len(s.queue)/2 {
+			n := copy(s.queue, s.queue[s.qhead:])
+			clear(s.queue[n:])
+			s.queue = s.queue[:n]
+			s.qhead = 0
+		}
+		slot := s.takeSlot()
 		s.busy++
 		d := s.service(it.item)
 		if d < 0 {
 			d = 0
 		}
-		start := s.eng.Now()
-		s.eng.After(d, func() {
-			s.busy--
-			s.busyTotal += s.eng.Now().Sub(start)
-			if it.fn != nil {
-				it.fn(it.item)
-			} else if s.complete != nil {
-				s.complete(it.item)
-			}
-			s.pump()
-		})
+		it.d = d
+		s.inService[slot] = it
+		// The event fires exactly d later in virtual time, so the busy
+		// span equals the service duration — no start timestamp needed.
+		s.eng.AfterCall(d, s.finishFn, slot)
 	}
+}
+
+func (s *Server[T]) takeSlot() int {
+	for i, b := range s.slotBusy {
+		if !b {
+			s.slotBusy[i] = true
+			return i
+		}
+	}
+	panic("sim: Server has busy count below capacity but no free slot")
+}
+
+func (s *Server[T]) finish(arg any) {
+	slot := arg.(int)
+	it := s.inService[slot]
+	var zero serverItem[T]
+	s.inService[slot] = zero
+	s.slotBusy[slot] = false
+	s.busy--
+	s.busyTotal += it.d
+	if it.fn != nil {
+		it.fn(it.item)
+	} else if s.complete != nil {
+		s.complete(it.item)
+	}
+	s.pump()
 }

@@ -103,11 +103,23 @@ type SrunLauncher struct {
 	util *platform.UtilizationTracker
 	rand *rng.Stream
 	// queue holds requests not yet placed.
-	queue []*launch.Request
+	queue launch.Queue
 	stats launch.Stats
 	// rateMult is the per-run variability multiplier on prolog latency.
 	rateMult float64
 	drained  bool
+
+	// Prebound hot-path callbacks for the engine's pooled events.
+	runFn  func(any)
+	doneFn func(any)
+}
+
+// srunTask carries one placed request through prolog, execution and
+// completion, holding the controller-ceiling release it must invoke.
+type srunTask struct {
+	r       *launch.Request
+	pl      *platform.Placement
+	release func()
 }
 
 // NewSrunLauncher returns a launcher over the partition. srun needs no
@@ -123,6 +135,8 @@ func NewSrunLauncher(name string, eng *sim.Engine, ctrl *Controller, part *platf
 		rand: src.Stream("srun." + name),
 	}
 	s.rateMult = s.rand.LogNormal(1, ctrl.params.RunSigma)
+	s.runFn = s.run
+	s.doneFn = s.taskDone
 	return s
 }
 
@@ -144,7 +158,7 @@ func (s *SrunLauncher) BootstrapOverhead() sim.Duration { return 0 }
 // Stats implements launch.Launcher.
 func (s *SrunLauncher) Stats() launch.Stats {
 	st := s.stats
-	st.QueueLen = len(s.queue)
+	st.QueueLen = s.queue.Len()
 	return st
 }
 
@@ -159,16 +173,14 @@ func (s *SrunLauncher) Submit(r *launch.Request) {
 		s.fail(r, fmt.Sprintf("task %s cannot fit partition of %d nodes", r.UID, s.Nodes()))
 		return
 	}
-	s.queue = append(s.queue, r)
+	s.queue.Push(r)
 	s.pump()
 }
 
 // Drain implements launch.Launcher.
 func (s *SrunLauncher) Drain(reason string) {
 	s.drained = true
-	q := s.queue
-	s.queue = nil
-	for _, r := range q {
+	for _, r := range s.queue.TakeAll() {
 		s.fail(r, reason)
 	}
 }
@@ -176,7 +188,7 @@ func (s *SrunLauncher) Drain(reason string) {
 func (s *SrunLauncher) fail(r *launch.Request, reason string) {
 	s.stats.Failed++
 	at := s.eng.Now()
-	s.eng.Immediately(func() { r.OnComplete(at, true, reason) })
+	s.eng.Immediately(func() { r.NotifyComplete(at, true, reason) })
 }
 
 // pump places queued tasks and hands them to srun. Placement is FCFS with
@@ -184,13 +196,11 @@ func (s *SrunLauncher) fail(r *launch.Request, reason string) {
 // that tasks whose input data already sits on a free node may jump the
 // queue (the shared placer's data-aware affinity pass).
 func (s *SrunLauncher) pump() {
-	for len(s.queue) > 0 {
-		idx, pl := s.plc.NextRequest(s.eng.Now(), s.queue, 0)
+	for s.queue.Len() > 0 {
+		r, pl := s.plc.PopNext(s.eng.Now(), &s.queue, 0)
 		if pl == nil {
 			return
 		}
-		r := s.queue[idx]
-		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 		s.launch(r, pl)
 	}
 }
@@ -200,31 +210,38 @@ func (s *SrunLauncher) launch(r *launch.Request, pl *platform.Placement) {
 	if stepNodes < 1 {
 		stepNodes = 1
 	}
+	st := &srunTask{r: r, pl: pl}
 	s.ctrl.StartStep(s.Nodes(), stepNodes, func(release func()) {
+		st.release = release
 		prolog := s.ctrl.params.PrologMedian / s.rateMult
 		d := sim.Seconds(s.rand.LogNormal(prolog, s.ctrl.params.PrologSigma))
-		s.eng.After(d, func() {
-			s.run(r, pl, release)
-		})
+		s.eng.AfterCall(d, s.runFn, st)
 	})
 }
 
-func (s *SrunLauncher) run(r *launch.Request, pl *platform.Placement, release func()) {
+// run starts the task process once srun's prolog finished.
+func (s *SrunLauncher) run(arg any) {
+	st := arg.(*srunTask)
 	now := s.eng.Now()
 	s.stats.Started++
 	if s.util != nil {
-		s.util.Add(now, pl.TotalCPU(), pl.TotalGPU())
+		s.util.Add(now, st.pl.TotalCPU(), st.pl.TotalGPU())
 	}
-	r.OnStart(now)
-	r.StartBody(s.eng, func() {
-		end := s.eng.Now()
-		if s.util != nil {
-			s.util.Remove(end, pl.TotalCPU(), pl.TotalGPU())
-		}
-		s.plc.Partition().Release(end, pl)
-		release()
-		s.stats.Completed++
-		r.OnComplete(end, false, "")
-		s.pump()
-	})
+	st.r.NotifyStart(now)
+	st.r.StartBodyCall(s.eng, s.doneFn, st)
+}
+
+// taskDone runs when the task's process body ends; the srun exits and its
+// ceiling slot frees.
+func (s *SrunLauncher) taskDone(arg any) {
+	st := arg.(*srunTask)
+	end := s.eng.Now()
+	if s.util != nil {
+		s.util.Remove(end, st.pl.TotalCPU(), st.pl.TotalGPU())
+	}
+	s.plc.Partition().Release(end, st.pl)
+	st.release()
+	s.stats.Completed++
+	st.r.NotifyComplete(end, false, "")
+	s.pump()
 }

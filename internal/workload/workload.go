@@ -44,30 +44,29 @@ func Null(n int) []*spec.TaskDescription {
 }
 
 // Dummy returns n single-core executable sleep tasks of the given duration,
-// emulating sustained load without computation.
+// emulating sustained load without computation. The descriptions share one
+// arena allocation (the largest sweeps generate hundreds of thousands).
 func Dummy(n int, d sim.Duration) []*spec.TaskDescription {
-	out := make([]*spec.TaskDescription, n)
-	for i := range out {
-		out[i] = &spec.TaskDescription{
-			Kind:         spec.Executable,
-			CoresPerRank: 1,
-			Ranks:        1,
-			Duration:     d,
-		}
-	}
-	return out
+	return uniform(n, spec.Executable, d)
 }
 
 // DummyFunctions returns n single-core Python-function sleep tasks.
 func DummyFunctions(n int, d sim.Duration) []*spec.TaskDescription {
+	return uniform(n, spec.Function, d)
+}
+
+// uniform builds n identical single-core sleep tasks on one arena.
+func uniform(n int, kind spec.TaskKind, d sim.Duration) []*spec.TaskDescription {
+	arena := make([]spec.TaskDescription, n)
 	out := make([]*spec.TaskDescription, n)
-	for i := range out {
-		out[i] = &spec.TaskDescription{
-			Kind:         spec.Function,
+	for i := range arena {
+		arena[i] = spec.TaskDescription{
+			Kind:         kind,
 			CoresPerRank: 1,
 			Ranks:        1,
 			Duration:     d,
 		}
+		out[i] = &arena[i]
 	}
 	return out
 }
