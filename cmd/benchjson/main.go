@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -36,8 +38,48 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// Meta records the environment a report was produced in, so a diff that
+// trips the gate can show whether the baselines are even comparable.
+type Meta struct {
+	GoVersion  string `json:"go_version,omitempty"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	// Commit is the repository HEAD at archive time, when git is
+	// available.
+	Commit string `json:"commit,omitempty"`
+}
+
+// collectMeta captures the current environment.
+func collectMeta() Meta {
+	m := Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		m.Commit = strings.TrimSpace(string(out))
+	}
+	return m
+}
+
+// describe renders the meta as one line for diff diagnostics.
+func (m Meta) describe() string {
+	commit := m.Commit
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	if commit == "" {
+		commit = "?"
+	}
+	return fmt.Sprintf("%s %s/%s gomaxprocs=%d commit=%s",
+		m.GoVersion, m.GOOS, m.GOARCH, m.GOMAXPROCS, commit)
+}
+
 // Report is the document benchjson emits.
 type Report struct {
+	Meta       Meta        `json:"meta,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -49,7 +91,7 @@ func main() {
 	out := flag.String("out", "", "output path (default stdout)")
 	flag.Parse()
 
-	report := Report{Benchmarks: []Benchmark{}}
+	report := Report{Meta: collectMeta(), Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -170,6 +212,10 @@ func diffMain(args []string) {
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) regressed >%.0f%%: %s\n",
 			len(failed), *maxRegress, strings.Join(failed, ", "))
+		// Mismatched environments are the usual benign explanation — show
+		// both before failing.
+		fmt.Fprintf(os.Stderr, "benchjson: old: %s\n", old.Meta.describe())
+		fmt.Fprintf(os.Stderr, "benchjson: new: %s\n", new_.Meta.describe())
 		os.Exit(1)
 	}
 }

@@ -18,6 +18,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	"rpgo/rp"
@@ -108,8 +109,13 @@ func main() {
 		counts[backend]++
 	}
 	fmt.Println("tasks per backend type:")
-	for b, n := range counts {
-		fmt.Printf("  %-8s %d\n", b, n)
+	backends := make([]string, 0, len(counts))
+	for b := range counts {
+		backends = append(backends, b)
+	}
+	sort.Strings(backends)
+	for _, b := range backends {
+		fmt.Printf("  %-8s %d\n", b, counts[b])
 	}
 
 	for _, l := range pilot.Agent.Launchers() {

@@ -2,19 +2,45 @@
 // default srun executor, and read back the task traces.
 //
 // Run with: go run ./examples/quickstart
+//
+// Telemetry flags:
+//
+//	-trace run.jsonl   spill every completed trace as JSON lines
+//	                   (post-process with cmd/rptrace: stats, top, export)
+//	-metrics           print the session's runtime-metrics snapshot
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"rpgo/rp"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a JSONL trace spill to this file")
+	showMetrics := flag.Bool("metrics", false, "print the runtime-metrics snapshot")
+	flag.Parse()
+
 	// A session owns the (simulated) machine, the Slurm controller, and
 	// the virtual clock. The seed makes the run exactly reproducible.
-	sess := rp.NewSession(rp.Config{Seed: 42})
+	cfg := rp.Config{Seed: 42}
+
+	// With -trace, tee every completed trace into a JSONL spill while the
+	// profiler still retains them for the summary below.
+	var spill *rp.JSONLSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		spill = rp.NewJSONLSink(f)
+		cfg.Sink = rp.TeeSink(&rp.MemorySink{}, spill)
+	}
+	sess := rp.NewSession(cfg)
 
 	// Request a 4-node pilot. With no partition layout, the agent uses
 	// RP's default executor: task launching via srun — subject to
@@ -67,4 +93,15 @@ func main() {
 		sess.Controller.Ceiling().HighWater)
 	fmt.Printf("CPU utilization: %.1f%% (the ceiling caps it at ~50%%)\n",
 		pilot.Util.CPUUtilization(firstStart, lastEnd)*100)
+
+	if spill != nil {
+		if err := spill.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace spill: %d records -> %s\n", spill.Records(), *traceOut)
+	}
+	if *showMetrics {
+		fmt.Println("\nruntime metrics:")
+		fmt.Print(sess.MetricsSnapshot().Render())
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"rpgo/internal/flux"
 	"rpgo/internal/launch"
 	"rpgo/internal/model"
+	"rpgo/internal/obs"
 	"rpgo/internal/platform"
 	"rpgo/internal/profiler"
 	"rpgo/internal/prrte"
@@ -103,8 +104,14 @@ type Agent struct {
 	notifyDoneFn func(any)
 
 	// Counters.
-	nSubmitted int
-	nFinal     int
+	nSubmitted  int
+	nFinal      int
+	nDispatches int
+	nRetries    int
+
+	// Cached registry instruments (dummies when no registry is wired, so
+	// the hot path never branches on nil).
+	gInflight *obs.Gauge
 }
 
 // executorGroup is one backend type with its concurrent instances. The
@@ -126,20 +133,22 @@ type executorGroup struct {
 // backend instance concurrently (Fig 7: overheads are not additive).
 func New(desc spec.PilotDescription, eng *sim.Engine, ctrl *slurm.Controller,
 	alloc *platform.Allocation, util *platform.UtilizationTracker,
-	prof *profiler.Profiler, src *rng.Source, params model.Params) (*Agent, error) {
+	prof *profiler.Profiler, src *rng.Source, params model.Params,
+	reg *obs.Registry) (*Agent, error) {
 
 	if err := desc.Validate(); err != nil {
 		return nil, err
 	}
 	a := &Agent{
-		eng:    eng,
-		params: params,
-		ctrl:   ctrl,
-		alloc:  alloc,
-		util:   util,
-		prof:   prof,
-		src:    src,
-		desc:   desc,
+		eng:       eng,
+		params:    params,
+		ctrl:      ctrl,
+		alloc:     alloc,
+		util:      util,
+		prof:      prof,
+		src:       src,
+		desc:      desc,
+		gInflight: reg.Gauge("agent.inflight_tasks"),
 	}
 	a.notifyDoneFn = a.notifyDone
 	// Stagers run multiple concurrent instances (stacked boxes in Fig 1).
@@ -154,7 +163,7 @@ func New(desc spec.PilotDescription, eng *sim.Engine, ctrl *slurm.Controller,
 	a.scheduler = sim.NewServer(eng, 1, func(*Task) sim.Duration {
 		return sim.Seconds(schedStream.Exp(1 / params.RP.SchedRate))
 	}, a.scheduled)
-	a.dataSys = data.NewSystem(eng, alloc, params.Data, prof)
+	a.dataSys = data.NewSystem(eng, alloc, params.Data, prof, reg)
 
 	a.eng.After(sim.Seconds(params.RP.AgentBootstrap), a.bootstrapBackends)
 	return a, nil
@@ -332,11 +341,19 @@ func (a *Agent) Submitted() int { return a.nSubmitted }
 // Final reports how many tasks reached a terminal state.
 func (a *Agent) Final() int { return a.nFinal }
 
+// Dispatches reports how many backend dispatch attempts the agent made
+// (initial submissions plus retries).
+func (a *Agent) Dispatches() int { return a.nDispatches }
+
+// Retries reports executor-level resubmissions across all tasks.
+func (a *Agent) Retries() int { return a.nRetries }
+
 // Submit accepts a task from the client-side task manager. done fires when
 // the task reaches a final state.
 func (a *Agent) Submit(t *Task, done func(*Task)) {
 	t.done = done
 	a.nSubmitted++
+	a.gInflight.Set(a.eng.Now(), float64(a.nSubmitted-a.nFinal))
 	if a.draining {
 		a.finish(t, states.TaskFailed, "pilot is draining")
 		return
@@ -464,6 +481,7 @@ func (d *dispatchRec) OnComplete(at sim.Time, failed bool, reason string) {
 // forward hands a serialized task to the least-loaded live instance (late
 // binding: the choice happens at submission time, not at scheduling time).
 func (a *Agent) forward(g *executorGroup, t *Task) {
+	a.nDispatches++
 	idx := a.pickLauncher(g, t)
 	if idx < 0 {
 		a.finish(t, states.TaskFailed, fmt.Sprintf("no live %s instance fits task %s", g.backend, t.TD.UID))
@@ -524,6 +542,7 @@ func (a *Agent) completed(g *executorGroup, t *Task, at sim.Time, failed bool, r
 		t.gen++
 		if t.attempts < t.TD.MaxRetries && !a.draining {
 			t.attempts++
+			a.nRetries++
 			t.Trace.Retries = t.attempts
 			// The task goes back through executor dispatch after a
 			// backoff; its state regresses to AGENT_EXECUTING paths.
@@ -576,7 +595,9 @@ func (a *Agent) finish(t *Task, st states.TaskState, reason string) {
 	}
 	a.transition(t, st)
 	t.Trace.Final = a.eng.Now()
+	a.prof.TaskFinal(t.Trace)
 	a.nFinal++
+	a.gInflight.Set(a.eng.Now(), float64(a.nSubmitted-a.nFinal))
 	if t.done != nil {
 		// The callback runs in its own engine event (like every other
 		// notification); t.done stays set until delivery so the pooled

@@ -37,7 +37,7 @@ func newRig(t *testing.T, pd spec.PilotDescription) *rig {
 	util := platform.NewUtilizationTracker(alloc.TotalCPU(), alloc.TotalGPU())
 	alloc.AttachUtilization(util)
 	prof := profiler.New()
-	a, err := New(pd, eng, ctrl, alloc, util, prof, src, params)
+	a, err := New(pd, eng, ctrl, alloc, util, prof, src, params, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,9 @@ import (
 	"fmt"
 
 	"rpgo/internal/agent"
+	"rpgo/internal/launch"
 	"rpgo/internal/model"
+	"rpgo/internal/obs"
 	"rpgo/internal/platform"
 	"rpgo/internal/profiler"
 	"rpgo/internal/rng"
@@ -33,6 +35,14 @@ type Config struct {
 	// RecordEvents enables the full profiler event log (tests, small
 	// runs).
 	RecordEvents bool
+	// Sink, when set, receives every completed trace as it finalizes.
+	// Sinks that implement profiler.TraceRetainer and return false switch
+	// the profiler to streaming mode: traces are handed to the sink and
+	// dropped instead of retained, bounding memory at campaign scale.
+	Sink profiler.TraceSink
+	// MetricsTick is the sampling granularity (in sim time) for gauge time
+	// series in the session's metrics registry; zero uses obs.DefaultTick.
+	MetricsTick sim.Duration
 }
 
 // Session owns the simulation engine, the machine, the Slurm controller,
@@ -41,7 +51,10 @@ type Session struct {
 	Engine     *sim.Engine
 	Controller *slurm.Controller
 	Profiler   *profiler.Profiler
-	Params     model.Params
+	// Metrics is the session's runtime-metrics registry; subsystems record
+	// counters, gauges and histograms into it as the simulation advances.
+	Metrics *obs.Registry
+	Params  model.Params
 
 	src      *rng.Source
 	pilots   []*Pilot
@@ -59,10 +72,14 @@ func NewSession(cfg Config) *Session {
 	src := rng.New(cfg.Seed)
 	prof := profiler.New()
 	prof.RecordEvents = cfg.RecordEvents
+	if cfg.Sink != nil {
+		prof.SetSink(cfg.Sink)
+	}
 	return &Session{
 		Engine:     eng,
 		Controller: slurm.NewController(eng, params.Srun, src),
 		Profiler:   prof,
+		Metrics:    obs.NewRegistry(cfg.MetricsTick),
 		Params:     params,
 		src:        src,
 	}
@@ -121,7 +138,7 @@ func (s *Session) SubmitPilot(pd spec.PilotDescription) (*Pilot, error) {
 	p.State = states.PilotLaunching
 	s.Profiler.Log(s.Engine.Now(), p.UID, "state", p.State.String())
 
-	ag, err := agent.New(pd, s.Engine, s.Controller, alloc, util, s.Profiler, s.src, s.Params)
+	ag, err := agent.New(pd, s.Engine, s.Controller, alloc, util, s.Profiler, s.src, s.Params, s.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -208,8 +225,12 @@ func (h *ServiceHandle) Close() { h.ep.Close() }
 type TaskManager struct {
 	sess  *Session
 	pilot *Pilot
-	tasks []*agent.Task
-	final int
+	// tasks retains submitted task records — only while the profiler
+	// retains traces; in streaming mode completion is tracked by count so
+	// memory stays bounded.
+	tasks     []*agent.Task
+	submitted int
+	final     int
 	// waiters fire when all currently submitted tasks are final.
 	waiters []func()
 	// OnComplete, when set, observes every terminal task (campaign
@@ -229,8 +250,14 @@ func (s *Session) TaskManager(p *Pilot) *TaskManager {
 	return tm
 }
 
-// Tasks returns all tasks ever submitted through this manager.
+// Tasks returns all tasks ever submitted through this manager. In
+// streaming mode (a non-retaining Config.Sink) task records are not kept
+// and Tasks returns nil; use the sink's folds instead.
 func (tm *TaskManager) Tasks() []*agent.Task { return tm.tasks }
+
+// SubmittedCount returns how many tasks were submitted through this
+// manager (valid in both retained and streaming modes).
+func (tm *TaskManager) SubmittedCount() int { return tm.submitted }
 
 // FinalCount returns how many of them reached a terminal state.
 func (tm *TaskManager) FinalCount() int { return tm.final }
@@ -260,6 +287,8 @@ func (tm *TaskManager) Submit(tds []*spec.TaskDescription) []*agent.Task {
 	arena := make([]agent.Task, len(tds))
 	out := make([]*agent.Task, len(tds))
 	now := tm.sess.Engine.Now()
+	retain := tm.sess.Profiler.Retain()
+	tm.submitted += len(tds)
 	for i, td := range tds {
 		if td.UID == "" {
 			td.UID = taskUID(tm.sess.taskSeq)
@@ -275,7 +304,9 @@ func (tm *TaskManager) Submit(tds []*spec.TaskDescription) []*agent.Task {
 		// Client-side acceptance, then the ZeroMQ hop to the agent.
 		states.Validate(t.State, states.TaskTMGRSchedule)
 		t.State = states.TaskTMGRSchedule
-		tm.tasks = append(tm.tasks, t)
+		if retain {
+			tm.tasks = append(tm.tasks, t)
+		}
 		out[i] = t
 	}
 	// One pipe-latency hop delivers the whole batch. The per-task submit
@@ -298,7 +329,7 @@ func (tm *TaskManager) taskDone(t *agent.Task) {
 	if tm.OnComplete != nil {
 		tm.OnComplete(t)
 	}
-	if tm.final == len(tm.tasks) {
+	if tm.final == tm.submitted {
 		ws := tm.waiters
 		tm.waiters = nil
 		for _, fn := range ws {
@@ -313,10 +344,76 @@ func (tm *TaskManager) taskDone(t *agent.Task) {
 // a deadlock in the modelled system.
 func (tm *TaskManager) Wait() error {
 	tm.sess.Engine.Run()
-	if tm.final != len(tm.tasks) {
-		return fmt.Errorf("core: %d of %d tasks never finished", len(tm.tasks)-tm.final, len(tm.tasks))
+	if tm.final != tm.submitted {
+		return fmt.Errorf("core: %d of %d tasks never finished", tm.submitted-tm.final, tm.submitted)
 	}
 	return nil
+}
+
+// MetricsSnapshot exports the session's metrics registry merged with the
+// native counters of components that keep them without registry
+// indirection: the event engine, the Slurm srun ceiling, every backend's
+// placement machinery, the agent dispatch pipeline, the data subsystem's
+// locality counters, and any deployed inference services.
+func (s *Session) MetricsSnapshot() *obs.Snapshot {
+	snap := s.Metrics.Snapshot()
+	snap.Put("sim.events", float64(s.Engine.Steps()))
+	snap.Put("sim.heap_highwater", float64(s.Engine.HeapHighWater()))
+	snap.Put("sim.timer_cancellations", float64(s.Engine.Cancellations()))
+	snap.Put("sim.pool_slots", float64(s.Engine.PoolSlots()))
+	snap.Put("sim.pool_free", float64(s.Engine.PoolFree()))
+	snap.Put("slurm.srun_highwater", float64(s.Controller.Ceiling().HighWater))
+
+	var dispatches, retries, hits, misses int
+	var bytesMoved int64
+	var pstats launch.PlacerStats
+	queueHigh := 0
+	var served, failed uint64
+	scaleEvents := 0
+	for _, p := range s.pilots {
+		ag := p.Agent
+		if ag == nil {
+			continue
+		}
+		dispatches += ag.Dispatches()
+		retries += ag.Retries()
+		for _, l := range ag.Launchers() {
+			if in, ok := l.(launch.Instrumented); ok {
+				tel := in.Telemetry()
+				pstats.Merge(tel.Placer)
+				if tel.QueueHighWater > queueHigh {
+					queueHigh = tel.QueueHighWater
+				}
+			}
+		}
+		if ds := ag.Data(); ds != nil {
+			hits += ds.Hits()
+			misses += ds.Misses()
+			bytesMoved += ds.BytesMoved()
+		}
+		for _, ep := range ag.Services().Endpoints() {
+			st := ep.Stats()
+			served += st.Served
+			failed += st.Failed
+			scaleEvents += len(st.ScaleEvents)
+		}
+	}
+	snap.Put("agent.dispatches", float64(dispatches))
+	snap.Put("agent.retries", float64(retries))
+	snap.Put("launch.attempts", float64(pstats.Attempts))
+	snap.Put("launch.placed", float64(pstats.Placed))
+	snap.Put("launch.scan_failures", float64(pstats.ScanFailures))
+	snap.Put("launch.watermark_skips", float64(pstats.WatermarkSkips))
+	snap.Put("launch.affinity_hits", float64(pstats.AffinityHits))
+	snap.Put("launch.backfill_hits", float64(pstats.BackfillHits))
+	snap.Put("launch.queue_highwater", float64(queueHigh))
+	snap.Put("data.locality_hits", float64(hits))
+	snap.Put("data.locality_misses", float64(misses))
+	snap.Put("data.bytes_total", float64(bytesMoved))
+	snap.Put("service.served", float64(served))
+	snap.Put("service.failed", float64(failed))
+	snap.Put("service.scale_events", float64(scaleEvents))
+	return snap
 }
 
 // Run drives the whole session until the event queue drains.

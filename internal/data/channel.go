@@ -211,10 +211,14 @@ func (s *System) tick() {
 	now := s.eng.Now()
 	for _, f := range finished {
 		s.bytesMoved += f.tt.bytes
+		s.cBytes.Add(uint64(f.tt.bytes))
 		for _, ch := range f.chans {
 			ch.bytes += f.tt.bytes
 		}
 		s.finishTransfer(f, now)
+	}
+	if len(finished) > 0 {
+		s.gFlows.Set(now, float64(len(s.flows)))
 	}
 	s.recompute()
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"rpgo/internal/model"
+	"rpgo/internal/obs"
 	"rpgo/internal/platform"
 	"rpgo/internal/profiler"
 	"rpgo/internal/sim"
@@ -60,12 +61,20 @@ type System struct {
 	hits       int
 	misses     int
 	bytesMoved int64
+
+	// Cached telemetry instruments (nil-safe dummies when no registry is
+	// attached) so the hot paths never branch on instrumentation.
+	cTransfers *obs.Counter
+	cCoalesced *obs.Counter
+	cStalls    *obs.Counter
+	cBytes     *obs.Counter
+	gFlows     *obs.Gauge
 }
 
 // NewSystem builds the storage model over the allocation's nodes. Zero or
 // negative bandwidth dials fall back to the calibrated defaults so a
 // partially filled Params cannot divide by zero.
-func NewSystem(eng *sim.Engine, alloc *platform.Allocation, p model.DataParams, prof *profiler.Profiler) *System {
+func NewSystem(eng *sim.Engine, alloc *platform.Allocation, p model.DataParams, prof *profiler.Profiler, tel *obs.Registry) *System {
 	def := model.Default().Data
 	if p.NVMeBandwidth <= 0 {
 		p.NVMeBandwidth = def.NVMeBandwidth
@@ -82,6 +91,11 @@ func NewSystem(eng *sim.Engine, alloc *platform.Allocation, p model.DataParams, 
 		reg:         NewRegistry(),
 		pendingNode: make(map[string]map[int][]func()),
 		pendingTier: make(map[string]map[spec.StageTier][]func()),
+		cTransfers:  tel.Counter("data.transfers"),
+		cCoalesced:  tel.Counter("data.coalesced_joins"),
+		cStalls:     tel.Counter("data.contention_stalls"),
+		cBytes:      tel.Counter("data.bytes_moved"),
+		gFlows:      tel.Gauge("data.active_flows"),
 	}
 	s.shared = &Channel{name: "sharedfs", capacity: p.SharedFSBandwidth(n)}
 	s.channels = append(s.channels, s.shared)
@@ -179,6 +193,7 @@ func (s *System) JoinPending(dataset string, node int, fn func()) bool {
 		return false
 	}
 	byNode[node] = append(waiters, fn)
+	s.cCoalesced.Inc()
 	return true
 }
 
@@ -280,6 +295,7 @@ func (s *System) JoinPendingTier(dataset string, tier spec.StageTier, fn func())
 		return false
 	}
 	byTier[eff] = append(waiters, fn)
+	s.cCoalesced.Inc()
 	return true
 }
 
@@ -334,13 +350,22 @@ func (s *System) startTransfer(chans []*Channel, latency float64, tt transferInf
 			return
 		}
 		s.advance()
+		for _, ch := range chans {
+			if ch.nActive > 0 {
+				// Joining an already-busy link: every flow on it slows down.
+				s.cStalls.Inc()
+				break
+			}
+		}
 		s.flows = append(s.flows, f)
 		s.recompute()
+		s.gFlows.Set(now, float64(len(s.flows)))
 	})
 }
 
 // finishTransfer records the trace and hands the completion to the engine.
 func (s *System) finishTransfer(f *flow, at sim.Time) {
+	s.cTransfers.Inc()
 	if s.prof != nil {
 		s.prof.Transfer(profiler.TransferTrace{
 			Dataset: f.tt.dataset,

@@ -188,6 +188,11 @@ func (d *Runtime) Stats() launch.Stats {
 	return st
 }
 
+// Telemetry implements launch.Instrumented.
+func (d *Runtime) Telemetry() launch.Telemetry {
+	return launch.Telemetry{Placer: d.plc.Stats(), QueueHighWater: d.queue.HighWater()}
+}
+
 // Failed reports whether bootstrap failed.
 func (d *Runtime) Failed() bool { return d.failed }
 

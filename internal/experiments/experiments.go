@@ -67,6 +67,11 @@ type ThroughputConfig struct {
 	Reps int
 	// Params overrides the model constants (ablations); nil = default.
 	Params *model.Params
+	// Sink, when set, builds a per-repetition trace sink (repetitions run
+	// concurrently, so they cannot share one). With a non-retaining sink
+	// the profiler streams instead of retaining and the RepResult summary
+	// fields stay zero — read the sink's folds instead.
+	Sink func(rep int) profiler.TraceSink
 }
 
 // RepResult is the outcome of a single repetition.
@@ -129,7 +134,7 @@ func RunThroughput(cfg ThroughputConfig) ThroughputResult {
 	res := ThroughputResult{Config: cfg}
 	res.Reps = make([]RepResult, cfg.Reps)
 	RunCells(cfg.Reps, func(r int) {
-		res.Reps[r] = runThroughputRep(cfg, cfg.Seed+uint64(r))
+		res.Reps[r] = runThroughputRep(cfg, r, cfg.Seed+uint64(r))
 	})
 	var utilSum float64
 	var makespanSum sim.Duration
@@ -150,8 +155,12 @@ func RunThroughput(cfg ThroughputConfig) ThroughputResult {
 	return res
 }
 
-func runThroughputRep(cfg ThroughputConfig, seed uint64) RepResult {
-	sess := core.NewSession(core.Config{Seed: seed, Params: cfg.Params})
+func runThroughputRep(cfg ThroughputConfig, repIdx int, seed uint64) RepResult {
+	var sink profiler.TraceSink
+	if cfg.Sink != nil {
+		sink = cfg.Sink(repIdx)
+	}
+	sess := core.NewSession(core.Config{Seed: seed, Params: cfg.Params, Sink: sink})
 	pilot, err := sess.SubmitPilot(spec.PilotDescription{
 		Nodes:      cfg.Nodes,
 		SMT:        1,
@@ -301,6 +310,11 @@ type ImpeccableConfig struct {
 	Params *model.Params
 	// MaxIters caps pipeline iterations (tests); zero = full campaign.
 	MaxIters int
+	// Sink, when set, receives every completed trace. With a non-retaining
+	// sink the profiler streams instead of retaining: Traces comes back
+	// empty and the trace-derived summary fields stay zero — read the
+	// sink's folds instead.
+	Sink profiler.TraceSink
 }
 
 // ImpeccableResult captures a campaign run (one repetition — the paper's
@@ -325,7 +339,7 @@ type ImpeccableResult struct {
 
 // RunImpeccable executes the campaign end to end.
 func RunImpeccable(cfg ImpeccableConfig) ImpeccableResult {
-	sess := core.NewSession(core.Config{Seed: cfg.Seed, Params: cfg.Params})
+	sess := core.NewSession(core.Config{Seed: cfg.Seed, Params: cfg.Params, Sink: cfg.Sink})
 	var parts []spec.PartitionConfig
 	switch cfg.Backend {
 	case spec.BackendSrun:

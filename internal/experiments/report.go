@@ -262,6 +262,18 @@ func ReportClaims(sc SuiteConfig) string {
 	return b.String()
 }
 
+// ReportTelemetry runs one representative cell and renders the session's
+// runtime-metrics snapshot: engine counters, placement machinery, data
+// channels and the dispatch pipeline (DESIGN.md §6).
+func ReportTelemetry(sc SuiteConfig) string {
+	cfg := HybridCell(8, 2, 0, sc.Seed+17, 1)
+	sess, _ := runForTraces(cfg, sc.Seed+17)
+	var b strings.Builder
+	b.WriteString("Runtime telemetry: flux+dragon cell, 8 nodes, 2 instances per runtime\n\n")
+	b.WriteString(sess.MetricsSnapshot().Render())
+	return b.String()
+}
+
 // runForTraces runs one repetition of a cell and returns the task traces,
 // for reports that need timeline series rather than aggregates.
 func runForTraces(cfg ThroughputConfig, seed uint64) (*core.Session, []*profiler.TaskTrace) {

@@ -182,6 +182,11 @@ func (in *Instance) Stats() launch.Stats {
 	return st
 }
 
+// Telemetry implements launch.Instrumented.
+func (in *Instance) Telemetry() launch.Telemetry {
+	return launch.Telemetry{Placer: in.plc.Stats(), QueueHighWater: in.queue.HighWater()}
+}
+
 // Rate returns the instance's effective dispatch rate (jobs/s).
 func (in *Instance) Rate() float64 {
 	return in.params.Rate(in.Nodes()) * in.eta * in.rateMult

@@ -124,6 +124,47 @@ type Stats struct {
 	QueueLen  int
 }
 
+// PlacerStats captures the shared placement machinery's counters: how
+// often placement was attempted, how the watermark cache and the affinity
+// and backfill passes short-circuited or reordered the queue.
+type PlacerStats struct {
+	// Attempts counts placement attempts; Placed the successful ones;
+	// ScanFailures the full node scans that found no capacity.
+	Attempts     uint64
+	Placed       uint64
+	ScanFailures uint64
+	// WatermarkSkips counts attempts short-circuited by the free-capacity
+	// watermark cache (no scan ran at all).
+	WatermarkSkips uint64
+	// AffinityHits counts requests placed by the data-affinity pass ahead
+	// of FCFS order; BackfillHits counts requests placed past a blocked
+	// queue head.
+	AffinityHits uint64
+	BackfillHits uint64
+}
+
+// Merge accumulates another backend's counters (session-wide rollups).
+func (s *PlacerStats) Merge(o PlacerStats) {
+	s.Attempts += o.Attempts
+	s.Placed += o.Placed
+	s.ScanFailures += o.ScanFailures
+	s.WatermarkSkips += o.WatermarkSkips
+	s.AffinityHits += o.AffinityHits
+	s.BackfillHits += o.BackfillHits
+}
+
+// Telemetry bundles one backend's placement counters and queue high-water
+// for metric snapshots.
+type Telemetry struct {
+	Placer         PlacerStats
+	QueueHighWater int
+}
+
+// Instrumented is implemented by backends exposing placement telemetry.
+type Instrumented interface {
+	Telemetry() Telemetry
+}
+
 // Launcher is a task runtime backend bound to a resource partition.
 // Submit may be called before the backend finished bootstrapping; requests
 // queue and run once it is ready.
@@ -157,6 +198,7 @@ type Queue struct {
 	buf  []*Request // len(buf) is always a power of two
 	head int
 	n    int
+	high int
 	// hinted counts queued requests carrying a Prefer hook, so the
 	// placer's affinity pass can skip its window scan entirely for
 	// locality-blind workloads.
@@ -165,6 +207,9 @@ type Queue struct {
 
 // Len returns the number of queued requests.
 func (q *Queue) Len() int { return q.n }
+
+// HighWater returns the deepest the queue ever got.
+func (q *Queue) HighWater() int { return q.high }
 
 // HintedLen returns how many queued requests carry placement hints.
 func (q *Queue) HintedLen() int { return q.hinted }
@@ -176,6 +221,9 @@ func (q *Queue) Push(r *Request) {
 	}
 	q.buf[(q.head+q.n)&(len(q.buf)-1)] = r
 	q.n++
+	if q.n > q.high {
+		q.high = q.n
+	}
 	if r.Prefer != nil {
 		q.hinted++
 	}
@@ -269,6 +317,10 @@ type Placer struct {
 	wmEpoch    uint64
 	maxFreeCPU int
 	maxFreeGPU int
+
+	// stats are native counters (no registry indirection on the hot
+	// path); backends surface them through Telemetry().
+	stats PlacerStats
 }
 
 // NewPlacer returns a placer over the partition.
@@ -283,6 +335,9 @@ func NewPlacer(part *platform.Allocation) *Placer {
 // Partition returns the underlying allocation.
 func (p *Placer) Partition() *platform.Allocation { return p.part }
 
+// Stats returns the placement counters accumulated so far.
+func (p *Placer) Stats() PlacerStats { return p.stats }
+
 // cannotFit reports whether the watermark cache proves no node in the
 // partition currently has (cores, gpus) free.
 func (p *Placer) cannotFit(cores, gpus int) bool {
@@ -290,7 +345,11 @@ func (p *Placer) cannotFit(cores, gpus int) bool {
 		p.wmValid = false
 		return false
 	}
-	return cores > p.maxFreeCPU || gpus > p.maxFreeGPU
+	if cores > p.maxFreeCPU || gpus > p.maxFreeGPU {
+		p.stats.WatermarkSkips++
+		return true
+	}
+	return false
 }
 
 // recordWatermark caches the per-node free-capacity maxima observed during
@@ -376,6 +435,7 @@ func (p *Placer) NextRequest(at sim.Time, queue *Queue, backfill int) (int, *pla
 			if r.OnPlaced != nil {
 				r.OnPlaced(at, append([]int(nil), pl.NodeIDs...))
 			}
+			p.stats.AffinityHits++
 			return i, pl
 		}
 	}
@@ -385,6 +445,9 @@ func (p *Placer) NextRequest(at sim.Time, queue *Queue, backfill int) (int, *pla
 	}
 	for i := 0; i < n; i++ {
 		if pl := p.PlaceRequest(at, queue.At(i)); pl != nil {
+			if i > 0 {
+				p.stats.BackfillHits++
+			}
 			return i, pl
 		}
 	}
@@ -405,6 +468,7 @@ func (p *Placer) PopNext(at sim.Time, queue *Queue, backfill int) (*Request, *pl
 // placePreferredOnly claims the first hinted node with capacity, without
 // falling back to the ring policy.
 func (p *Placer) placePreferredOnly(at sim.Time, r *Request, prefer []int) *platform.Placement {
+	p.stats.Attempts++
 	cores := r.TD.TotalCores()
 	gpus := r.TD.TotalGPUs()
 	for _, id := range prefer {
@@ -416,6 +480,7 @@ func (p *Placer) placePreferredOnly(at sim.Time, r *Request, prefer []int) *plat
 		if err := p.part.Claim(at, pl); err != nil {
 			panic(fmt.Sprintf("launch: claim after fit check failed: %v", err))
 		}
+		p.stats.Placed++
 		return pl
 	}
 	return nil
@@ -436,6 +501,7 @@ func (p *Placer) preferredNode(id, cores, gpus int) *platform.Node {
 }
 
 func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription, prefer []int) *platform.Placement {
+	p.stats.Attempts++
 	cores := td.TotalCores()
 	gpus := td.TotalGPUs()
 	if p.cannotFit(cores, gpus) {
@@ -452,6 +518,7 @@ func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription, prefer [
 		if err := p.part.Claim(at, pl); err != nil {
 			panic(fmt.Sprintf("launch: claim after fit check failed: %v", err))
 		}
+		p.stats.Placed++
 		return pl
 	}
 	n := len(p.part.Nodes)
@@ -469,6 +536,7 @@ func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription, prefer [
 			if node.FreeCPU() == 0 {
 				p.cursor = (p.cursor + 1) % n
 			}
+			p.stats.Placed++
 			return pl
 		}
 		if f := node.FreeCPU(); f > maxCPU {
@@ -480,6 +548,7 @@ func (p *Placer) placeSingleNode(at sim.Time, td *spec.TaskDescription, prefer [
 	}
 	// Full scan failed: remember the capacity maxima so equally-large
 	// requests skip the scan until something is released.
+	p.stats.ScanFailures++
 	p.recordWatermark(maxCPU, maxGPU)
 	return nil
 }
@@ -504,6 +573,7 @@ func perNodeFootprint(td *spec.TaskDescription) (cores, gpus int) {
 }
 
 func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription, prefer []int) *platform.Placement {
+	p.stats.Attempts++
 	want := td.Nodes
 	spec := p.part.Cluster.Spec
 	coresPerNode, gpusPerNode := perNodeFootprint(td)
@@ -539,6 +609,7 @@ func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription, prefer []
 		}
 	}
 	if len(ids) < want {
+		p.stats.ScanFailures++
 		return nil
 	}
 	pl := &platform.Placement{NodeIDs: ids}
@@ -551,6 +622,7 @@ func (p *Placer) placeMultiNode(at sim.Time, td *spec.TaskDescription, prefer []
 	if err := p.part.Claim(at, pl); err != nil {
 		panic(fmt.Sprintf("launch: multi-node claim after fit check failed: %v", err))
 	}
+	p.stats.Placed++
 	return pl
 }
 

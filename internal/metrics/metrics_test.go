@@ -193,3 +193,60 @@ func TestASCIIPlot(t *testing.T) {
 		t.Fatal("empty plot should say no data")
 	}
 }
+
+func TestRateSeriesGuards(t *testing.T) {
+	one := []*profiler.TaskTrace{trace("a", 1, 2, 1, 0)}
+	never := profiler.NewTaskTrace("never") // Start = -1: excluded
+	cases := []struct {
+		name   string
+		tasks  []*profiler.TaskTrace
+		window sim.Duration
+		want   int // expected point count
+	}{
+		{"nil tasks", nil, sim.Second, 0},
+		{"empty tasks", []*profiler.TaskTrace{}, sim.Second, 0},
+		{"never started", []*profiler.TaskTrace{never}, sim.Second, 0},
+		{"zero window", one, 0, 0},
+		{"negative window", one, -sim.Second, 0},
+		{"one start", one, sim.Second, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := RateSeries(tc.tasks, tc.window, 0)
+			if len(s.Points) != tc.want {
+				t.Fatalf("points = %d, want %d (%+v)", len(s.Points), tc.want, s.Points)
+			}
+			if s.Max() < 0 || s.Mean() < 0 {
+				t.Fatalf("negative stats on %q: max=%v mean=%v", tc.name, s.Max(), s.Mean())
+			}
+		})
+	}
+}
+
+func TestConcurrencySeriesGuards(t *testing.T) {
+	started := profiler.NewTaskTrace("started") // Start set, End = -1
+	started.Start = sim.Time(sim.Second)
+	cases := []struct {
+		name  string
+		tasks []*profiler.TaskTrace
+		want  int
+	}{
+		{"nil tasks", nil, 0},
+		{"empty tasks", []*profiler.TaskTrace{}, 0},
+		{"never ran", []*profiler.TaskTrace{profiler.NewTaskTrace("x")}, 0},
+		{"started but unfinished", []*profiler.TaskTrace{started}, 0},
+		{"one ran", []*profiler.TaskTrace{trace("a", 0, 1, 1, 0)}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := ConcurrencySeries(tc.tasks, 0)
+			if len(s.Points) != tc.want {
+				t.Fatalf("points = %d, want %d", len(s.Points), tc.want)
+			}
+			// Downsampling an empty or tiny series must not panic either.
+			if ds := Downsample(s, 1); len(ds.Points) > 1 {
+				t.Fatalf("downsample(1) kept %d points", len(ds.Points))
+			}
+		})
+	}
+}

@@ -1,0 +1,281 @@
+package obs
+
+// The metrics registry: named counters, gauges and histograms instrumented
+// across the runtime stack. The hot path is lock-free and allocation-free —
+// instruments are plain structs mutated by the single-threaded simulation,
+// call sites cache instrument pointers once, and gauges coalesce their time
+// series per configurable sim-time tick so update-driven sampling cannot
+// grow unbounded within a tick. A nil *Registry is fully usable: every
+// accessor returns a shared dummy instrument, so instrumented components
+// need no nil checks.
+//
+// Metric name catalogue (see DESIGN.md §6): "sim.*" engine counters,
+// "launch.*" placement machinery, "agent.*" dispatch pipeline, "data.*"
+// staging channels, "service.*" inference endpoints.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rpgo/internal/metrics"
+	"rpgo/internal/sim"
+)
+
+// DefaultTick is the gauge time-series resolution when none is configured.
+const DefaultTick = 10 * sim.Second
+
+// Counter is a monotone event count.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a sampled instantaneous value with a lifetime maximum and a
+// tick-coalesced time series: within one tick only the latest sample is
+// kept, so series length is bounded by simulated time, not update rate.
+type Gauge struct {
+	name   string
+	tick   sim.Duration
+	v      float64
+	max    float64
+	last   int64 // tick bucket of the newest series point
+	points []metrics.Point
+}
+
+// Set records the gauge value at a sim time.
+func (g *Gauge) Set(at sim.Time, v float64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+	if g.tick <= 0 {
+		return // dummy instrument: no series
+	}
+	b := int64(at) / int64(g.tick)
+	if n := len(g.points); n > 0 && b == g.last {
+		g.points[n-1] = metrics.Point{T: at, V: v}
+		return
+	}
+	g.last = b
+	g.points = append(g.points, metrics.Point{T: at, V: v})
+}
+
+// Add shifts the gauge by dv at a sim time.
+func (g *Gauge) Add(at sim.Time, dv float64) { g.Set(at, g.v+dv) }
+
+// Value returns the latest sample; Max the lifetime maximum.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Max returns the largest value ever set.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Series returns the tick-coalesced timeline.
+func (g *Gauge) Series() metrics.Series {
+	return metrics.Series{Name: g.name, Points: g.points}
+}
+
+// Histogram is a named log-bucketed distribution (see Hist).
+type Histogram struct {
+	name string
+	Hist
+}
+
+// Registry holds a session's instruments. All methods are nil-safe.
+type Registry struct {
+	tick     sim.Duration
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns a registry whose gauge series sample at the given
+// sim-time tick (<=0 uses DefaultTick).
+func NewRegistry(tick sim.Duration) *Registry {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	return &Registry{
+		tick:     tick,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Tick returns the gauge sampling resolution.
+func (r *Registry) Tick() sim.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.tick
+}
+
+// Counter returns (creating if needed) the named counter. On a nil
+// registry it returns an unregistered dummy.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge. On a nil registry it
+// returns an unregistered dummy that keeps no series.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name, tick: r.tick}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. On a nil
+// registry it returns an unregistered dummy.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeStat is a gauge summary in a snapshot.
+type GaugeStat struct {
+	Last float64 `json:"last"`
+	Max  float64 `json:"max"`
+}
+
+// HistStat is a histogram summary in a snapshot.
+type HistStat struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// SeriesPoint is one gauge sample in a snapshot (seconds, value).
+type SeriesPoint struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Snapshot is a point-in-time, JSON-ready export of a registry — the form
+// experiment reports and benchjson archives embed. Components without
+// registry access merge their native counters in through Put.
+type Snapshot struct {
+	TickSeconds float64                  `json:"tick_seconds,omitempty"`
+	Counters    map[string]float64       `json:"counters,omitempty"`
+	Gauges      map[string]GaugeStat     `json:"gauges,omitempty"`
+	Histograms  map[string]HistStat      `json:"histograms,omitempty"`
+	Series      map[string][]SeriesPoint `json:"series,omitempty"`
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Counters:   make(map[string]float64),
+		Gauges:     make(map[string]GaugeStat),
+		Histograms: make(map[string]HistStat),
+		Series:     make(map[string][]SeriesPoint),
+	}
+}
+
+// Put merges one counter-style value into the snapshot.
+func (s *Snapshot) Put(name string, v float64) { s.Counters[name] = v }
+
+// PutGauge merges one gauge summary into the snapshot.
+func (s *Snapshot) PutGauge(name string, last, max float64) {
+	s.Gauges[name] = GaugeStat{Last: last, Max: max}
+}
+
+// maxSnapshotSeriesPoints bounds each exported gauge series.
+const maxSnapshotSeriesPoints = 512
+
+// Snapshot exports every instrument. Nil registries export an empty
+// snapshot (callers merge native counters into it regardless).
+func (r *Registry) Snapshot() *Snapshot {
+	s := NewSnapshot()
+	if r == nil {
+		return s
+	}
+	s.TickSeconds = r.tick.Seconds()
+	for name, c := range r.counters {
+		s.Counters[name] = float64(c.v)
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeStat{Last: g.v, Max: g.max}
+		ds := metrics.Downsample(g.Series(), maxSnapshotSeriesPoints)
+		pts := make([]SeriesPoint, len(ds.Points))
+		for i, p := range ds.Points {
+			pts[i] = SeriesPoint{T: p.T.Seconds(), V: p.V}
+		}
+		s.Series[name] = pts
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistStat{
+			N:    h.N(),
+			Mean: h.Mean(),
+			P50:  h.Quantile(0.50),
+			P99:  h.Quantile(0.99),
+			Max:  h.Max(),
+		}
+	}
+	return s
+}
+
+// Render formats the snapshot as a sorted text table for reports.
+func (s *Snapshot) Render() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-42s %14.0f\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := s.Gauges[n]
+		fmt.Fprintf(&b, "%-42s last=%g max=%g\n", n, g.Last, g.Max)
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%-42s n=%d mean=%.6g p50=%.6g p99=%.6g max=%.6g\n",
+			n, h.N, h.Mean, h.P50, h.P99, h.Max)
+	}
+	return b.String()
+}

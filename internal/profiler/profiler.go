@@ -135,6 +135,28 @@ type TransferTrace struct {
 // Duration returns the transfer's time in the channels.
 func (t *TransferTrace) Duration() sim.Duration { return t.End.Sub(t.Start) }
 
+// TraceSink receives completed trace records as the simulation produces
+// them: one OnTask per task at its terminal state, one OnTransfer per
+// completed data movement, one OnRequest per answered inference request.
+// Callbacks run inside engine events and must not schedule new ones.
+// Implementations live in internal/obs (Memory, Fold, JSONL).
+type TraceSink interface {
+	OnTask(*TaskTrace)
+	OnTransfer(TransferTrace)
+	OnRequest(RequestTrace)
+	// Flush finalizes buffered output (spill sinks); the session calls it
+	// once the run is over.
+	Flush() error
+}
+
+// TraceRetainer is an optional TraceSink capability. A sink that reports
+// RetainTraces()=false switches the profiler to streaming mode: records are
+// handed to the sink and dropped, so trace memory stays O(1) in task count.
+// Sinks without the capability retain (the safe default).
+type TraceRetainer interface {
+	RetainTraces() bool
+}
+
 // Event is one record in the full event log.
 type Event struct {
 	Time   sim.Time
@@ -151,6 +173,13 @@ type Profiler struct {
 	// allocations instead of n (the largest campaigns trace >200k tasks).
 	arena []TaskTrace
 
+	// sink observes completed records; retain controls whether the
+	// profiler also keeps them (streaming sinks turn retention off).
+	sink    TraceSink
+	retain  bool
+	nTasks  int
+	nFinals int
+
 	// RecordEvents enables the full event log; compact traces are always
 	// collected.
 	RecordEvents bool
@@ -162,12 +191,48 @@ type Profiler struct {
 
 // New returns an empty profiler.
 func New() *Profiler {
-	return &Profiler{traces: make(map[string]*TaskTrace)}
+	return &Profiler{traces: make(map[string]*TaskTrace), retain: true}
+}
+
+// SetSink routes completed records through s (nil restores the default
+// retain-only behavior). Retention follows the sink's TraceRetainer
+// capability: sinks without it keep today's in-memory traces.
+func (p *Profiler) SetSink(s TraceSink) {
+	p.sink = s
+	p.retain = true
+	if s != nil {
+		if r, ok := s.(TraceRetainer); ok {
+			p.retain = r.RetainTraces()
+		}
+	}
+}
+
+// Sink returns the active trace sink, nil by default.
+func (p *Profiler) Sink() TraceSink { return p.sink }
+
+// Retain reports whether the profiler keeps records in memory; false means
+// a streaming sink owns them (Tasks/Requests/Transfers stay empty).
+func (p *Profiler) Retain() bool { return p.retain }
+
+// Flush finalizes the sink's buffered output; a no-op without a sink.
+func (p *Profiler) Flush() error {
+	if p.sink != nil {
+		return p.sink.Flush()
+	}
+	return nil
 }
 
 // Task returns (creating if needed) the compact trace for uid.
 func (p *Profiler) Task(uid string) *TaskTrace {
 	if t, ok := p.traces[uid]; ok {
+		return t
+	}
+	p.nTasks++
+	if !p.retain {
+		// Streaming mode: the trace lives only until TaskFinal hands it
+		// to the sink. No arena (its chunks would pin memory), no order.
+		t := NewTaskTrace(uid)
+		p.traces[uid] = t
 		return t
 	}
 	if len(p.arena) == 0 {
@@ -189,14 +254,37 @@ func (p *Profiler) Task(uid string) *TaskTrace {
 	return t
 }
 
-// Tasks returns all traces in submission order.
+// TaskFinal notifies the profiler that a task's trace reached its terminal
+// state: the sink observes the completed record, and in streaming mode the
+// profiler then drops its own reference so trace memory stays bounded.
+// (Callers may keep using the pointer; only the index entry is released.)
+func (p *Profiler) TaskFinal(t *TaskTrace) {
+	p.nFinals++
+	if p.sink != nil {
+		p.sink.OnTask(t)
+	}
+	if !p.retain {
+		delete(p.traces, t.UID)
+	}
+}
+
+// Tasks returns all traces in submission order (empty in streaming mode).
 func (p *Profiler) Tasks() []*TaskTrace { return p.order }
 
-// NumTasks returns the number of traced tasks.
-func (p *Profiler) NumTasks() int { return len(p.order) }
+// NumTasks returns the number of traced tasks, retained or streamed.
+func (p *Profiler) NumTasks() int { return p.nTasks }
+
+// NumFinals returns how many tasks reached a terminal state.
+func (p *Profiler) NumFinals() int { return p.nFinals }
 
 // Request appends one completed inference-request trace.
 func (p *Profiler) Request(rt RequestTrace) {
+	if p.sink != nil {
+		p.sink.OnRequest(rt)
+	}
+	if !p.retain {
+		return
+	}
 	p.requests = append(p.requests, rt)
 }
 
@@ -216,6 +304,12 @@ func (p *Profiler) RequestsFor(service string) []RequestTrace {
 
 // Transfer appends one completed data-transfer trace.
 func (p *Profiler) Transfer(tt TransferTrace) {
+	if p.sink != nil {
+		p.sink.OnTransfer(tt)
+	}
+	if !p.retain {
+		return
+	}
 	p.transfers = append(p.transfers, tt)
 }
 

@@ -172,6 +172,11 @@ func (d *DVM) Stats() launch.Stats {
 	return st
 }
 
+// Telemetry implements launch.Instrumented.
+func (d *DVM) Telemetry() launch.Telemetry {
+	return launch.Telemetry{Placer: d.plc.Stats(), QueueHighWater: d.queue.HighWater()}
+}
+
 // Rate returns the effective prun launch rate.
 func (d *DVM) Rate() float64 { return d.params.Rate * d.rateMult }
 

@@ -109,6 +109,7 @@ func (t Timer) Stop() bool {
 	}
 	t.eng.freeSlot(t.slot)
 	t.eng.pending--
+	t.eng.cancels++
 	return true
 }
 
@@ -128,6 +129,11 @@ type Engine struct {
 	pending int
 	running bool
 	steps   uint64
+	// Telemetry counters (internal/obs reads them through accessors):
+	// heapHigh is the deepest the event heap ever got, cancels counts
+	// Timer.Stop calls that found a live event.
+	heapHigh int
+	cancels  uint64
 	// MaxSteps aborts Run with a panic if the event count exceeds it.
 	// Zero means no limit. It exists to catch accidental event storms in
 	// tests.
@@ -148,6 +154,21 @@ func (e *Engine) Steps() uint64 { return e.steps }
 // Pending returns the number of scheduled, uncancelled events. The counter
 // is maintained on schedule, fire and cancel, so the call is O(1).
 func (e *Engine) Pending() int { return e.pending }
+
+// HeapHighWater returns the deepest the event heap ever got (including
+// cancelled entries awaiting lazy removal).
+func (e *Engine) HeapHighWater() int { return e.heapHigh }
+
+// Cancellations returns how many timers were stopped while still pending.
+func (e *Engine) Cancellations() uint64 { return e.cancels }
+
+// PoolSlots returns the size of the pooled slot arena; PoolFree how many
+// of those slots sit on the free list. Their difference is the pool
+// occupancy (live plus lazily-cancelled events).
+func (e *Engine) PoolSlots() int { return len(e.slots) }
+
+// PoolFree returns the free-list length of the slot arena.
+func (e *Engine) PoolFree() int { return len(e.free) }
 
 // schedule allocates a pooled slot for the callback and pushes its heap
 // entry. Exactly one of fn / fnArg is non-nil.
@@ -231,6 +252,9 @@ func (e *Engine) ImmediatelyCall(fn func(any), arg any) Timer {
 // heapPush appends an entry and sifts it up the 4-ary heap.
 func (e *Engine) heapPush(ent heapEntry) {
 	e.heap = append(e.heap, ent)
+	if len(e.heap) > e.heapHigh {
+		e.heapHigh = len(e.heap)
+	}
 	i := len(e.heap) - 1
 	for i > 0 {
 		p := (i - 1) / 4

@@ -162,6 +162,11 @@ func (s *SrunLauncher) Stats() launch.Stats {
 	return st
 }
 
+// Telemetry implements launch.Instrumented.
+func (s *SrunLauncher) Telemetry() launch.Telemetry {
+	return launch.Telemetry{Placer: s.plc.Stats(), QueueHighWater: s.queue.HighWater()}
+}
+
 // Submit implements launch.Launcher.
 func (s *SrunLauncher) Submit(r *launch.Request) {
 	s.stats.Submitted++

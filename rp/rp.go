@@ -32,10 +32,13 @@
 package rp
 
 import (
+	"io"
+
 	"rpgo/internal/agent"
 	"rpgo/internal/core"
 	"rpgo/internal/metrics"
 	"rpgo/internal/model"
+	"rpgo/internal/obs"
 	"rpgo/internal/profiler"
 	"rpgo/internal/service"
 	"rpgo/internal/sim"
@@ -188,3 +191,42 @@ func NewSession(cfg Config) *Session { return core.NewSession(cfg) }
 
 // DefaultParams returns the calibrated model parameter set.
 func DefaultParams() Params { return model.Default() }
+
+// --- observability (internal/obs) ---
+
+// TraceSink receives completed traces as they finalize; set one on
+// Config.Sink. Sinks whose RetainTraces reports false switch the profiler
+// to streaming mode: traces flow through the sink and are dropped instead
+// of retained, bounding memory at campaign scale.
+type TraceSink = profiler.TraceSink
+
+// TaskTrace is the per-task lifecycle record sinks receive.
+type TaskTrace = profiler.TaskTrace
+
+// MemorySink retains traces in the profiler (the default behaviour).
+type MemorySink = obs.Memory
+
+// FoldSink folds every trace into O(1)-memory aggregates: throughput,
+// utilization, latency percentiles, staging and service statistics.
+type FoldSink = obs.Fold
+
+// JSONLSink spills every trace as one JSON object per line.
+type JSONLSink = obs.JSONL
+
+// NewFoldSink returns an empty fold.
+func NewFoldSink() *FoldSink { return obs.NewFold() }
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONL(w) }
+
+// TeeSink fans each trace out to several sinks.
+func TeeSink(sinks ...TraceSink) TraceSink { return obs.NewTee(sinks...) }
+
+// MetricsRegistry is the session's runtime-metrics registry
+// (Session.Metrics): counters, gauges and histograms recorded by the
+// engine, schedulers, data channels and services as the simulation runs.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a JSON-ready export of the registry; obtain one from
+// Session.MetricsSnapshot().
+type MetricsSnapshot = obs.Snapshot
