@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rpbench [-full] [-reps N] [-seed S] [-parallel N] [-only table1|fig4|fig5|fig6|fig7|fig8|claims|telemetry]
+//	rpbench [-full] [-reps N] [-seed S] [-parallel N] [-only table1|fig4|fig5|fig6|fig7|fig8|claims|telemetry|blame]
 //
 // Without -only it runs the complete suite. -full includes the 1024-node
 // throughput sweeps (slower); Fig 8 and the claims always run the paper's
@@ -28,7 +28,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per throughput cell")
 	seed := flag.Uint64("seed", 20250916, "base RNG seed")
 	parallel := flag.Int("parallel", 1, "worker count for independent experiment cells")
-	only := flag.String("only", "", "run a single artifact: table1, fig4, fig5, fig6, fig7, fig8, claims, telemetry")
+	only := flag.String("only", "", "run a single artifact: table1, fig4, fig5, fig6, fig7, fig8, claims, telemetry, blame")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
@@ -46,6 +46,7 @@ func main() {
 		{"fig8", func() string { return experiments.ReportFig8(sc) }},
 		{"claims", func() string { return experiments.ReportClaims(sc) }},
 		{"telemetry", func() string { return experiments.ReportTelemetry(sc) }},
+		{"blame", func() string { return experiments.ReportBlame(sc) }},
 	}
 
 	ran := 0

@@ -6,6 +6,8 @@
 //	rptrace export [-o trace.json] [run.jsonl]   Perfetto/Chrome trace-event export
 //	rptrace stats [run.jsonl]                    streaming summary (Fold replay)
 //	rptrace top [-n 10] [run.jsonl]              longest task executions
+//	rptrace blame [run.jsonl]                    makespan blame decomposition
+//	rptrace critpath [-n 25] [run.jsonl]         causal critical chain
 //	rptrace validate [trace.json]                check a trace-event export
 //
 // Input defaults to stdin so spills pipe straight through:
@@ -41,6 +43,10 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "top":
 		err = cmdTop(os.Args[2:])
+	case "blame":
+		err = cmdBlame(os.Args[2:])
+	case "critpath":
+		err = cmdCritpath(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
 	case "-h", "--help", "help":
@@ -62,6 +68,8 @@ func usage() {
   rptrace export [-o trace.json] [run.jsonl]   Perfetto trace-event export
   rptrace stats [run.jsonl]                    streaming summary
   rptrace top [-n 10] [run.jsonl]              longest task executions
+  rptrace blame [run.jsonl]                    makespan blame decomposition
+  rptrace critpath [-n 25] [run.jsonl]         causal critical chain
   rptrace validate [trace.json]                check a trace-event export
 `)
 }
@@ -119,7 +127,9 @@ func cmdStats(args []string) error {
 	defer in.Close()
 
 	f := obs.NewFold()
+	records := 0
 	if err := obs.ReadRecords(in, func(rec *obs.Record) error {
+		records++
 		switch {
 		case rec.Task != nil:
 			f.OnTask(rec.Task.Trace())
@@ -131,6 +141,9 @@ func cmdStats(args []string) error {
 		return nil
 	}); err != nil {
 		return err
+	}
+	if records == 0 {
+		return fmt.Errorf("empty spill: no records (wrong file, or a run that never flushed its sink?)")
 	}
 
 	tp := f.Throughput()
@@ -222,6 +235,78 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
+	if n == 0 {
+		return fmt.Errorf("empty trace: no events (truncated export?)")
+	}
 	fmt.Printf("rptrace: %d trace events valid\n", n)
+	return nil
+}
+
+// readBlame streams a spill's task records through the blame sink.
+func readBlame(in io.Reader) (*obs.Blame, error) {
+	b := obs.NewBlame()
+	records := 0
+	if err := obs.ReadRecords(in, func(rec *obs.Record) error {
+		records++
+		if rec.Task != nil {
+			b.OnTask(rec.Task.Trace())
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if records == 0 {
+		return nil, fmt.Errorf("empty spill: no records (wrong file, or a run that never flushed its sink?)")
+	}
+	if b.Tasks() == 0 {
+		return nil, fmt.Errorf("spill has %d records but no task records — blame needs tasks", records)
+	}
+	return b, nil
+}
+
+func cmdBlame(args []string) error {
+	fs := flag.NewFlagSet("blame", flag.ExitOnError)
+	fs.Parse(args)
+	in, err := openInput(fs.Args())
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	b, err := readBlame(in)
+	if err != nil {
+		return err
+	}
+	rep := b.Report()
+	rep.WriteText(os.Stdout)
+	return nil
+}
+
+func cmdCritpath(args []string) error {
+	fs := flag.NewFlagSet("critpath", flag.ExitOnError)
+	n := fs.Int("n", 25, "how many chain links to list")
+	fs.Parse(args)
+	in, err := openInput(fs.Args())
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	b, err := readBlame(in)
+	if err != nil {
+		return err
+	}
+	rep := b.Report()
+	fmt.Printf("makespan %.6fs across %d tasks; chain of %d links (latest first)\n",
+		rep.Makespan.Seconds(), rep.Tasks, len(rep.Chain))
+	fmt.Printf("%-24s %14s %14s %12s\n", "uid", "submit [s]", "final [s]", "gap [s]")
+	for i, l := range rep.Chain {
+		if i >= *n {
+			fmt.Printf("… %d more\n", len(rep.Chain)-*n)
+			break
+		}
+		fmt.Printf("%-24s %14.6f %14.6f %12.6f\n",
+			l.UID, l.From.Seconds(), l.To.Seconds(), l.Gap.Seconds())
+	}
 	return nil
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStatsEmptySpillErrors(t *testing.T) {
+	p := writeTemp(t, "empty.jsonl", "")
+	if err := cmdStats([]string{p}); err == nil {
+		t.Fatal("stats on an empty spill must error")
+	} else if !strings.Contains(err.Error(), "empty spill") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestValidateEmptyTraceErrors(t *testing.T) {
+	p := writeTemp(t, "empty.json", `{"traceEvents":[]}`)
+	if err := cmdValidate([]string{p}); err == nil {
+		t.Fatal("validate on an empty trace must error")
+	} else if !strings.Contains(err.Error(), "empty trace") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestBlameNeedsTaskRecords(t *testing.T) {
+	empty := writeTemp(t, "empty.jsonl", "")
+	if _, err := readBlame(strings.NewReader("")); err == nil {
+		t.Fatal("blame on an empty spill must error")
+	}
+	if err := cmdBlame([]string{empty}); err == nil {
+		t.Fatal("cmdBlame on an empty spill must error")
+	}
+	// Records but no tasks: still an error, with a pointer at the cause.
+	onlyXfer := `{"transfer":{"dataset":"d","bytes":1,"src":"a","dst":"b","node":0,"start":0,"end":1}}` + "\n"
+	if _, err := readBlame(strings.NewReader(onlyXfer)); err == nil {
+		t.Fatal("blame without task records must error")
+	} else if !strings.Contains(err.Error(), "task") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestBlameAndCritpathOnSpill(t *testing.T) {
+	spill := `{"task":{"uid":"t.0","submit":0,"scheduled":0,"launch":0,"start":0,"end":10000000,"final":10000000}}
+{"task":{"uid":"t.1","submit":12000000,"scheduled":12000000,"launch":12000000,"start":12000000,"end":20000000,"final":20000000,"edges":[{"kind":"queued","from":12000000,"to":13000000}]}}
+`
+	p := writeTemp(t, "run.jsonl", spill)
+	if err := cmdBlame([]string{p}); err != nil {
+		t.Fatalf("blame: %v", err)
+	}
+	if err := cmdCritpath([]string{p}); err != nil {
+		t.Fatalf("critpath: %v", err)
+	}
+}

@@ -502,6 +502,7 @@ func (a *Agent) forward(g *executorGroup, t *Task) {
 		TD:     t.TD,
 		Body:   body,
 		Events: rec,
+		Trace:  t.Trace,
 	}
 	if t.TD.HasStaging() {
 		// Late-bound: backends evaluate the preference at placement
@@ -551,7 +552,16 @@ func (a *Agent) completed(g *executorGroup, t *Task, at sim.Time, failed bool, r
 				t.State = states.TaskAgentExecuting
 			}
 			a.prof.Log(at, t.TD.UID, "retry", reason)
+			failAt := at
 			a.eng.After(sim.Seconds(a.params.RP.RetryBackoff), func() {
+				// The backoff just resolved: the re-dispatch is causally
+				// downstream of the failure.
+				t.Trace.AddEdge(profiler.CausalEdge{
+					Kind: profiler.EdgeRetry,
+					From: failAt,
+					To:   a.eng.Now(),
+					Ref:  reason,
+				})
 				a.dispatch(g, t)
 			})
 			return

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rpgo/internal/profiler"
 	"rpgo/internal/service"
 	"rpgo/internal/sim"
 	"rpgo/internal/spec"
@@ -164,7 +165,16 @@ func (a *Agent) coupledBody(t *Task) func(sim.Time, func()) {
 					if !live() {
 						return
 					}
-					t.Trace.ServiceWait += a.eng.Now().Sub(blocked)
+					now := a.eng.Now()
+					t.Trace.ServiceWait += now.Sub(blocked)
+					if now > blocked {
+						t.Trace.AddEdge(profiler.CausalEdge{
+							Kind: profiler.EdgeService,
+							From: blocked,
+							To:   now,
+							Ref:  c.Service,
+						})
+					}
 					run(i+1, c.Phase)
 				})
 			})

@@ -19,9 +19,27 @@ package agent
 import (
 	"sort"
 
+	"rpgo/internal/profiler"
 	"rpgo/internal/sim"
 	"rpgo/internal/spec"
 )
+
+// stageEdgeDone wraps a staging waitgroup Done with causal-edge emission:
+// when the transfer (own or ridden) resolves, the task records what it was
+// blocked on. ok gates trace writes (dataBody's generation guard); uid is
+// read at fire time, so callers may assign it after registering the
+// callback — transfer completions are always later engine events.
+func stageEdgeDone(eng *sim.Engine, t *Task, kind profiler.EdgeKind, uid *string, from sim.Time, ok func() bool, done func()) func() {
+	return func() {
+		now := eng.Now()
+		if ok() && now > from {
+			t.Trace.AddEdge(profiler.CausalEdge{Kind: kind, From: from, To: now, Ref: *uid})
+		}
+		done()
+	}
+}
+
+func always() bool { return true }
 
 // stageInShared runs pre-placement staging for every input directive whose
 // destination is a shared tier, then hands the task to the scheduler.
@@ -42,9 +60,12 @@ func (a *Agent) stageInShared(t *Task) {
 			continue
 		}
 		wg.Add(1)
-		if a.dataSys.JoinPendingTier(d.Dataset, d.Dest, wg.Done) {
+		var xuid string
+		if uid, ok := a.dataSys.JoinPendingTier(d.Dataset, d.Dest,
+			stageEdgeDone(a.eng, t, profiler.EdgeTransfer, &xuid, start, always, wg.Done)); ok {
 			// Another task is already staging this dataset to the
 			// tier: ride its transfer instead of duplicating it.
+			xuid = uid
 			t.Trace.DataHits++
 			a.dataSys.RecordHit()
 			continue
@@ -52,7 +73,8 @@ func (a *Agent) stageInShared(t *Task) {
 		t.Trace.DataMisses++
 		a.dataSys.RecordMiss()
 		t.Trace.BytesIn += d.SizeBytes
-		a.dataSys.TierTransfer(t.TD.UID, d.Dataset, d.SizeBytes, d.Source, d.Dest, wg.Done)
+		xuid = a.dataSys.TierTransfer(t.TD.UID, d.Dataset, d.SizeBytes, d.Source, d.Dest,
+			stageEdgeDone(a.eng, t, profiler.EdgeStage, &xuid, start, always, wg.Done))
 	}
 	wg.Done()
 	wg.Wait(func() {
@@ -131,9 +153,12 @@ func (a *Agent) dataBody(t *Task, inner func(sim.Time, func()), placed *[]int) f
 					continue
 				}
 				wg.Add(1)
-				if a.dataSys.JoinPending(d.Dataset, n, wg.Done) {
+				var xuid string
+				if uid, ok := a.dataSys.JoinPending(d.Dataset, n,
+					stageEdgeDone(a.eng, t, profiler.EdgeTransfer, &xuid, start, live, wg.Done)); ok {
 					// Another task is already pulling this replica:
 					// ride its transfer instead of duplicating it.
+					xuid = uid
 					t.Trace.DataHits++
 					a.dataSys.RecordHit()
 					continue
@@ -141,7 +166,8 @@ func (a *Agent) dataBody(t *Task, inner func(sim.Time, func()), placed *[]int) f
 				t.Trace.DataMisses++
 				a.dataSys.RecordMiss()
 				t.Trace.BytesIn += d.SizeBytes
-				a.dataSys.StageToNode(t.TD.UID, d.Dataset, d.SizeBytes, d.Source, n, wg.Done)
+				xuid = a.dataSys.StageToNode(t.TD.UID, d.Dataset, d.SizeBytes, d.Source, n,
+					stageEdgeDone(a.eng, t, profiler.EdgeStage, &xuid, start, live, wg.Done))
 			}
 		}
 		wg.Done()

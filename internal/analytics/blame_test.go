@@ -1,0 +1,178 @@
+package analytics
+
+import (
+	"strings"
+	"testing"
+
+	"rpgo/internal/profiler"
+	"rpgo/internal/sim"
+)
+
+// mkTrace builds a fully-stamped trace with a simple monotone milestone
+// chain at second granularity.
+func mkTrace(uid string, submit, sched, launch, start, end, final int64) *profiler.TaskTrace {
+	return &profiler.TaskTrace{
+		UID:       uid,
+		Submit:    sim.Time(submit),
+		Scheduled: sim.Time(sched),
+		Launch:    sim.Time(launch),
+		Start:     sim.Time(start),
+		End:       sim.Time(end),
+		Final:     sim.Time(final),
+	}
+}
+
+func TestSummarizeExactDecomposition(t *testing.T) {
+	const s = int64(sim.Second)
+	tr := mkTrace("t.0", 0, 1*s, 2*s, 10*s, 20*s, 21*s)
+	// 5 s of queue wait inside [launch, start], 2 s of it starved.
+	tr.AddEdge(profiler.CausalEdge{Kind: profiler.EdgeQueued, From: sim.Time(3 * s), To: sim.Time(8 * s)})
+	tr.AddEdge(profiler.CausalEdge{Kind: profiler.EdgeStarved, From: sim.Time(6 * s), To: sim.Time(8 * s)})
+	// 3 s blocked on a transfer inside the body, 2 s on a service call
+	// overlapping the transfer by 1 s.
+	tr.AddEdge(profiler.CausalEdge{Kind: profiler.EdgeStage, From: sim.Time(11 * s), To: sim.Time(14 * s), Ref: "xfer.000001"})
+	tr.AddEdge(profiler.CausalEdge{Kind: profiler.EdgeService, From: sim.Time(13 * s), To: sim.Time(15 * s), Ref: "llm"})
+
+	sum := Summarize(tr)
+	if !sum.Valid() {
+		t.Fatal("summary not valid")
+	}
+	if got, want := sum.Blame.Total(), sum.Span(); got != want {
+		t.Fatalf("Blame.Total() = %d, want span %d", got, want)
+	}
+	if got := sum.Blame[BlameStarve]; got != sim.Duration(2*s) {
+		t.Errorf("starve = %v, want 2s", got)
+	}
+	if got := sum.Blame[BlameQueue]; got != sim.Duration(3*s) {
+		t.Errorf("queue = %v, want 3s (queued minus starved overlap)", got)
+	}
+	if got := sum.Blame[BlameData]; got != sim.Duration(3*s) {
+		t.Errorf("data = %v, want 3s", got)
+	}
+	if got := sum.Blame[BlameService]; got != sim.Duration(1*s) {
+		t.Errorf("service = %v, want 1s (service minus data overlap)", got)
+	}
+	if got := sum.Blame[BlameExec]; got != sim.Duration(6*s) {
+		t.Errorf("exec = %v, want 6s", got)
+	}
+	// Dominant wait is the 5 s queue edge.
+	if sum.Dominant != "queued" || sum.DominantWait != sim.Duration(5*s) {
+		t.Errorf("dominant = %q/%v, want queued/5s", sum.Dominant, sum.DominantWait)
+	}
+}
+
+func TestSummarizeStageOutTail(t *testing.T) {
+	const s = int64(sim.Second)
+	tr := mkTrace("t.1", 0, 0, 0, 0, 10*s, 10*s)
+	tr.StageOut = sim.Duration(4 * s)
+	sum := Summarize(tr)
+	if got := sum.Blame[BlameData]; got != sim.Duration(4*s) {
+		t.Errorf("data = %v, want 4s stage-out tail", got)
+	}
+	if got := sum.Blame[BlameExec]; got != sim.Duration(6*s) {
+		t.Errorf("exec = %v, want 6s", got)
+	}
+	if sum.Blame.Total() != sum.Span() {
+		t.Fatalf("decomposition not exact: %v != %v", sum.Blame.Total(), sum.Span())
+	}
+}
+
+func TestSummarizeUnsetMilestones(t *testing.T) {
+	// A failed task that never started: scheduled/launch/start/end unset.
+	tr := profiler.NewTaskTrace("t.2")
+	tr.Submit = 0
+	tr.Final = sim.Time(5 * int64(sim.Second))
+	tr.Failed = true
+	sum := Summarize(tr)
+	if !sum.Valid() {
+		t.Fatal("summary should be valid (submit and final set)")
+	}
+	if sum.Blame.Total() != sum.Span() {
+		t.Fatalf("decomposition not exact: %v != %v", sum.Blame.Total(), sum.Span())
+	}
+	if sum.Blame[BlameMiddleware] != sum.Span() {
+		t.Errorf("all span should be middleware, got %v of %v", sum.Blame[BlameMiddleware], sum.Span())
+	}
+}
+
+func TestSummarizeInvalid(t *testing.T) {
+	tr := profiler.NewTaskTrace("t.3") // all timestamps unset
+	if sum := Summarize(tr); sum.Valid() {
+		t.Fatal("summary of an unstamped trace must be invalid")
+	}
+}
+
+func TestComputeBlameChainAndGaps(t *testing.T) {
+	const s = int64(sim.Second)
+	traces := []*profiler.TaskTrace{
+		mkTrace("t.0", 0, 0, 0, 0, 10*s, 10*s),
+		// Gap of 2 s after t.0, then t.1 runs.
+		mkTrace("t.1", 12*s, 12*s, 12*s, 12*s, 20*s, 20*s),
+		// Overlapping non-critical task.
+		mkTrace("t.2", 1*s, 1*s, 1*s, 1*s, 5*s, 5*s),
+	}
+	rep := BlameFromTraces(traces)
+	if rep.Tasks != 3 {
+		t.Fatalf("tasks = %d, want 3", rep.Tasks)
+	}
+	if got, want := rep.Makespan, sim.Duration(20*s); got != want {
+		t.Fatalf("makespan = %v, want %v", got, want)
+	}
+	if got := rep.Blame.Total(); got != rep.Makespan {
+		t.Fatalf("Blame.Total() = %v, want makespan %v", got, rep.Makespan)
+	}
+	// Chain is t.1 (latest) → t.0; the 2 s gap is middleware.
+	if len(rep.Chain) != 2 || rep.Chain[0].UID != "t.1" || rep.Chain[1].UID != "t.0" {
+		t.Fatalf("chain = %+v, want [t.1 t.0]", rep.Chain)
+	}
+	if rep.Chain[0].Gap != sim.Duration(2*s) {
+		t.Errorf("gap = %v, want 2s", rep.Chain[0].Gap)
+	}
+	if rep.Blame[BlameMiddleware] != sim.Duration(2*s) {
+		t.Errorf("middleware = %v, want the 2s chain gap", rep.Blame[BlameMiddleware])
+	}
+	if rep.Blame[BlameExec] != sim.Duration(18*s) {
+		t.Errorf("exec = %v, want 18s (10+8 on the chain)", rep.Blame[BlameExec])
+	}
+}
+
+func TestComputeBlameZeroSpanRun(t *testing.T) {
+	// A run of zero-span tasks sharing one timestamp must terminate and
+	// still telescope exactly.
+	traces := []*profiler.TaskTrace{
+		mkTrace("a", 5, 5, 5, 5, 5, 5),
+		mkTrace("b", 5, 5, 5, 5, 5, 5),
+		mkTrace("c", 5, 5, 5, 5, 5, 5),
+		mkTrace("d", 0, 0, 0, 0, 5, 5),
+	}
+	rep := BlameFromTraces(traces)
+	if rep.Makespan != 5 {
+		t.Fatalf("makespan = %v, want 5", rep.Makespan)
+	}
+	if rep.Blame.Total() != rep.Makespan {
+		t.Fatalf("Blame.Total() = %v, want %v", rep.Blame.Total(), rep.Makespan)
+	}
+	if len(rep.Chain) == 0 || len(rep.Chain) > len(traces) {
+		t.Fatalf("chain length %d out of range", len(rep.Chain))
+	}
+}
+
+func TestComputeBlameEmpty(t *testing.T) {
+	rep := ComputeBlame(nil)
+	if rep.Tasks != 0 || rep.Makespan != 0 || len(rep.Chain) != 0 {
+		t.Fatalf("empty report not empty: %+v", rep)
+	}
+}
+
+func TestBlameReportWriteText(t *testing.T) {
+	const s = int64(sim.Second)
+	rep := BlameFromTraces([]*profiler.TaskTrace{mkTrace("t.0", 0, 0, 0, 0, 10*s, 10*s)})
+	var b strings.Builder
+	rep.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"makespan", "exec", "middleware", "critical chain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scorecard missing %q:\n%s", want, out)
+		}
+	}
+}

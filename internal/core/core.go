@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"rpgo/internal/agent"
+	"rpgo/internal/analytics"
 	"rpgo/internal/launch"
 	"rpgo/internal/model"
 	"rpgo/internal/obs"
@@ -413,6 +414,19 @@ func (s *Session) MetricsSnapshot() *obs.Snapshot {
 	snap.Put("service.served", float64(served))
 	snap.Put("service.failed", float64(failed))
 	snap.Put("service.scale_events", float64(scaleEvents))
+
+	// Blame summary (retained-trace sessions only; streaming sinks own the
+	// records and report through their own Blame sink instead).
+	if s.Profiler.Retain() {
+		if traces := s.Profiler.Tasks(); len(traces) > 0 {
+			rep := analytics.BlameFromTraces(traces)
+			snap.Put("blame.makespan_seconds", rep.Makespan.Seconds())
+			snap.Put("blame.chain_links", float64(len(rep.Chain)))
+			for c := analytics.BlameCategory(0); c < analytics.NumBlame; c++ {
+				snap.Put("blame."+c.String()+"_seconds", rep.Blame[c].Seconds())
+			}
+		}
+	}
 	return snap
 }
 

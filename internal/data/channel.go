@@ -112,6 +112,7 @@ type flow struct {
 }
 
 type transferInfo struct {
+	uid     string
 	dataset string
 	task    string
 	bytes   int64
@@ -119,6 +120,10 @@ type transferInfo struct {
 	dst     string
 	node    int
 	start   sim.Time
+	// contended names the first already-busy channel the flow joined
+	// (empty when the flow had every link to itself) — the causal source
+	// of any bandwidth stall.
+	contended string
 }
 
 // advance progresses every flow to the current time.

@@ -48,15 +48,19 @@ type System struct {
 
 	flows []*flow
 	seq   uint64
-	lastT sim.Time
-	timer sim.Timer
+	// uidSeq numbers transfers for causal references; assigned when the
+	// transfer API is called (before setup latency) so coalescing joiners
+	// can name the movement they ride.
+	uidSeq uint64
+	lastT  sim.Time
+	timer  sim.Timer
 
 	// pendingNode coalesces concurrent stage-ins of the same dataset to
 	// the same node: the first request transfers, later ones join as
 	// waiters — one copy moves no matter how many tasks want it.
 	// pendingTier does the same for tier-to-tier transfers.
-	pendingNode map[string]map[int][]func()
-	pendingTier map[string]map[spec.StageTier][]func()
+	pendingNode map[string]map[int]*pendingXfer
+	pendingTier map[string]map[spec.StageTier]*pendingXfer
 
 	hits       int
 	misses     int
@@ -89,8 +93,8 @@ func NewSystem(eng *sim.Engine, alloc *platform.Allocation, p model.DataParams, 
 		params:      p,
 		nvme:        make(map[int]*Channel, n),
 		reg:         NewRegistry(),
-		pendingNode: make(map[string]map[int][]func()),
-		pendingTier: make(map[string]map[spec.StageTier][]func()),
+		pendingNode: make(map[string]map[int]*pendingXfer),
+		pendingTier: make(map[string]map[spec.StageTier]*pendingXfer),
 		cTransfers:  tel.Counter("data.transfers"),
 		cCoalesced:  tel.Counter("data.coalesced_joins"),
 		cStalls:     tel.Counter("data.contention_stalls"),
@@ -180,21 +184,36 @@ func (s *System) effectiveTier(t spec.StageTier) spec.StageTier {
 	return t
 }
 
+// pendingXfer is one in-flight coalescable transfer: its UID (the causal
+// reference joiners record) and the waiters riding it.
+type pendingXfer struct {
+	uid     string
+	waiters []func()
+}
+
+// nextUID numbers a transfer at API-call time.
+func (s *System) nextUID() string {
+	uid := fmt.Sprintf("xfer.%06d", s.uidSeq)
+	s.uidSeq++
+	return uid
+}
+
 // JoinPending registers fn to fire when an already in-flight stage-in of
-// the dataset to the node completes; it reports whether such a transfer
-// exists. Joining moves no bytes — callers count it as a locality hit.
-func (s *System) JoinPending(dataset string, node int, fn func()) bool {
+// the dataset to the node completes; it returns that transfer's UID and
+// whether such a transfer exists. Joining moves no bytes — callers count it
+// as a locality hit.
+func (s *System) JoinPending(dataset string, node int, fn func()) (string, bool) {
 	byNode, ok := s.pendingNode[dataset]
 	if !ok {
-		return false
+		return "", false
 	}
-	waiters, ok := byNode[node]
+	p, ok := byNode[node]
 	if !ok {
-		return false
+		return "", false
 	}
-	byNode[node] = append(waiters, fn)
+	p.waiters = append(p.waiters, fn)
 	s.cCoalesced.Inc()
-	return true
+	return p.uid, true
 }
 
 // PendingNodes returns the nodes a stage-in of the dataset is currently
@@ -217,35 +236,38 @@ func (s *System) PendingNodes(dataset string) []int {
 // NVMe channel, bottlenecked by the more contended of the two. On
 // completion the registry records a node-local replica and any coalesced
 // waiters fire. Callers should check JoinPending first; a duplicate
-// StageToNode while one is in flight would move redundant bytes.
-func (s *System) StageToNode(task, dataset string, bytes int64, src spec.StageTier, node int, done func()) {
+// StageToNode while one is in flight would move redundant bytes. It returns
+// the transfer's UID for causal references.
+func (s *System) StageToNode(task, dataset string, bytes int64, src spec.StageTier, node int, done func()) string {
 	srcCh := s.tierChannel(src)
 	chans := []*Channel{srcCh}
 	if ch := s.nvme[node]; ch != nil {
 		chans = append(chans, ch)
 	}
+	uid := s.nextUID()
 	if s.pendingNode[dataset] == nil {
-		s.pendingNode[dataset] = make(map[int][]func())
+		s.pendingNode[dataset] = make(map[int]*pendingXfer)
 	}
-	s.pendingNode[dataset][node] = nil
+	s.pendingNode[dataset][node] = &pendingXfer{uid: uid}
 	lat := s.tierLatency(src) + s.params.NVMeLatency
 	s.startTransfer(chans, lat, transferInfo{
-		dataset: dataset, task: task, bytes: bytes,
+		uid: uid, dataset: dataset, task: task, bytes: bytes,
 		src: srcCh.name, dst: fmt.Sprintf("nvme:%d", node), node: node,
 	}, func() {
 		if s.nvme[node] != nil {
 			s.reg.RegisterNode(dataset, bytes, node)
 		}
-		waiters := s.pendingNode[dataset][node]
+		p := s.pendingNode[dataset][node]
 		delete(s.pendingNode[dataset], node)
 		if len(s.pendingNode[dataset]) == 0 {
 			delete(s.pendingNode, dataset)
 		}
 		done()
-		for _, fn := range waiters {
+		for _, fn := range p.waiters {
 			fn()
 		}
 	})
+	return uid
 }
 
 // WriteFromNode writes a dataset produced on a node out to a tier. The
@@ -254,7 +276,7 @@ func (s *System) StageToNode(task, dataset string, bytes int64, src spec.StageTi
 // a node-local replica: the produced bytes linger in the node's storage,
 // which is what lets a data-aware scheduler run the consumer where the
 // producer ran.
-func (s *System) WriteFromNode(task, dataset string, bytes int64, node int, dest spec.StageTier, done func()) {
+func (s *System) WriteFromNode(task, dataset string, bytes int64, node int, dest spec.StageTier, done func()) string {
 	var chans []*Channel
 	dstName := fmt.Sprintf("nvme:%d", node)
 	if ch := s.nvme[node]; ch != nil {
@@ -267,8 +289,9 @@ func (s *System) WriteFromNode(task, dataset string, bytes int64, node int, dest
 		dstName = dch.name
 		lat += s.tierLatency(dest)
 	}
+	uid := s.nextUID()
 	s.startTransfer(chans, lat, transferInfo{
-		dataset: dataset, task: task, bytes: bytes,
+		uid: uid, dataset: dataset, task: task, bytes: bytes,
 		src: fmt.Sprintf("nvme:%d", node), dst: dstName, node: node,
 	}, func() {
 		if s.nvme[node] != nil {
@@ -279,57 +302,62 @@ func (s *System) WriteFromNode(task, dataset string, bytes int64, node int, dest
 		}
 		done()
 	})
+	return uid
 }
 
 // JoinPendingTier registers fn to fire when an already in-flight transfer
-// of the dataset to the tier completes; it reports whether such a transfer
-// exists. Joining moves no bytes — callers count it as a locality hit.
-func (s *System) JoinPendingTier(dataset string, tier spec.StageTier, fn func()) bool {
+// of the dataset to the tier completes; it returns that transfer's UID and
+// whether such a transfer exists. Joining moves no bytes — callers count it
+// as a locality hit.
+func (s *System) JoinPendingTier(dataset string, tier spec.StageTier, fn func()) (string, bool) {
 	byTier, ok := s.pendingTier[dataset]
 	if !ok {
-		return false
+		return "", false
 	}
 	eff := s.effectiveTier(tier)
-	waiters, ok := byTier[eff]
+	p, ok := byTier[eff]
 	if !ok {
-		return false
+		return "", false
 	}
-	byTier[eff] = append(waiters, fn)
+	p.waiters = append(p.waiters, fn)
 	s.cCoalesced.Inc()
-	return true
+	return p.uid, true
 }
 
 // TierTransfer moves a dataset between two shared tiers (pre-placement
 // staging: parallel FS to burst buffer and back). The registry records the
 // dataset at the destination and coalesced waiters fire. Callers should
 // check JoinPendingTier first; a duplicate TierTransfer while one is in
-// flight would move redundant bytes.
-func (s *System) TierTransfer(task, dataset string, bytes int64, src, dest spec.StageTier, done func()) {
+// flight would move redundant bytes. It returns the transfer's UID for
+// causal references.
+func (s *System) TierTransfer(task, dataset string, bytes int64, src, dest spec.StageTier, done func()) string {
 	srcCh, dstCh := s.tierChannel(src), s.tierChannel(dest)
 	chans := []*Channel{srcCh}
 	if dstCh != srcCh {
 		chans = append(chans, dstCh)
 	}
 	eff := s.effectiveTier(dest)
+	uid := s.nextUID()
 	if s.pendingTier[dataset] == nil {
-		s.pendingTier[dataset] = make(map[spec.StageTier][]func())
+		s.pendingTier[dataset] = make(map[spec.StageTier]*pendingXfer)
 	}
-	s.pendingTier[dataset][eff] = nil
+	s.pendingTier[dataset][eff] = &pendingXfer{uid: uid}
 	s.startTransfer(chans, s.tierLatency(src)+s.tierLatency(dest), transferInfo{
-		dataset: dataset, task: task, bytes: bytes,
+		uid: uid, dataset: dataset, task: task, bytes: bytes,
 		src: srcCh.name, dst: dstCh.name, node: -1,
 	}, func() {
 		s.reg.RegisterTier(dataset, bytes, eff)
-		waiters := s.pendingTier[dataset][eff]
+		p := s.pendingTier[dataset][eff]
 		delete(s.pendingTier[dataset], eff)
 		if len(s.pendingTier[dataset]) == 0 {
 			delete(s.pendingTier, dataset)
 		}
 		done()
-		for _, fn := range waiters {
+		for _, fn := range p.waiters {
 			fn()
 		}
 	})
+	return uid
 }
 
 // startTransfer applies setup latency, then joins the flow machinery.
@@ -354,6 +382,7 @@ func (s *System) startTransfer(chans []*Channel, latency float64, tt transferInf
 			if ch.nActive > 0 {
 				// Joining an already-busy link: every flow on it slows down.
 				s.cStalls.Inc()
+				f.tt.contended = ch.name
 				break
 			}
 		}
@@ -367,7 +396,8 @@ func (s *System) startTransfer(chans []*Channel, latency float64, tt transferInf
 func (s *System) finishTransfer(f *flow, at sim.Time) {
 	s.cTransfers.Inc()
 	if s.prof != nil {
-		s.prof.Transfer(profiler.TransferTrace{
+		tt := profiler.TransferTrace{
+			UID:     f.tt.uid,
 			Dataset: f.tt.dataset,
 			Task:    f.tt.task,
 			Bytes:   f.tt.bytes,
@@ -376,7 +406,18 @@ func (s *System) finishTransfer(f *flow, at sim.Time) {
 			Node:    f.tt.node,
 			Start:   f.tt.start,
 			End:     at,
-		})
+		}
+		if f.tt.contended != "" && at > f.tt.start {
+			// The flow shared its bottleneck link from the moment it
+			// entered the channels.
+			tt.AddEdge(profiler.CausalEdge{
+				Kind: profiler.EdgeContention,
+				From: f.tt.start,
+				To:   at,
+				Ref:  f.tt.contended,
+			})
+		}
+		s.prof.Transfer(tt)
 	}
 	if f.done != nil {
 		s.eng.Immediately(f.done)

@@ -228,6 +228,7 @@ func (d *Runtime) submitArrived(arg any) {
 		d.fail(r, fmt.Sprintf("task %s cannot fit partition of %d nodes", r.UID, d.Nodes()))
 		return
 	}
+	r.Enqueue(d.eng.Now())
 	d.queue.Push(r)
 	d.pump()
 }

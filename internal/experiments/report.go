@@ -11,6 +11,7 @@ import (
 
 	"rpgo/internal/core"
 	"rpgo/internal/metrics"
+	"rpgo/internal/obs"
 	"rpgo/internal/profiler"
 	"rpgo/internal/spec"
 )
@@ -271,6 +272,32 @@ func ReportTelemetry(sc SuiteConfig) string {
 	var b strings.Builder
 	b.WriteString("Runtime telemetry: flux+dragon cell, 8 nodes, 2 instances per runtime\n\n")
 	b.WriteString(sess.MetricsSnapshot().Render())
+	return b.String()
+}
+
+// ReportBlame runs a small sweep and prints one blame scorecard per cell:
+// the critical-path engine's makespan decomposition (category sums equal
+// makespan exactly) plus the online straggler detector's flags. Traces are
+// replayed through the streaming obs.Blame sink — the same path a JSONL
+// spill takes through `rptrace blame`.
+func ReportBlame(sc SuiteConfig) string {
+	cells := []ThroughputConfig{
+		SrunCell(4, Dummy, sc.Seed+18, 1),
+		Flux1Cell(16, Null, sc.Seed+18, 1),
+		HybridCell(8, 2, 0, sc.Seed+18, 1),
+	}
+	var b strings.Builder
+	b.WriteString("Blame scorecards: per-cell makespan decomposition (critical-path engine)\n")
+	for _, cfg := range cells {
+		_, traces := runForTraces(cfg, sc.Seed+18)
+		sink := obs.NewBlame()
+		for _, t := range traces {
+			sink.OnTask(t)
+		}
+		rep := sink.Report()
+		fmt.Fprintf(&b, "\n--- %s ---\n", cfg.Name)
+		rep.WriteText(&b)
+	}
 	return b.String()
 }
 

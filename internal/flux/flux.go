@@ -209,6 +209,7 @@ func (in *Instance) submitArrived(arg any) {
 		in.fail(r, fmt.Sprintf("job %s cannot fit instance partition of %d nodes", r.UID, in.Nodes()))
 		return
 	}
+	r.Enqueue(in.eng.Now())
 	in.queue.Push(r)
 	in.kick()
 }

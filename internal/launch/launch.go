@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"rpgo/internal/platform"
+	"rpgo/internal/profiler"
 	"rpgo/internal/sim"
 	"rpgo/internal/spec"
 )
@@ -58,6 +59,25 @@ type Request struct {
 	// request, before the process starts, with the chosen node IDs. The
 	// agent's data movers use it to direct node-local staging.
 	OnPlaced func(at sim.Time, nodeIDs []int)
+	// Trace, when set, receives causal edges for the queue wait between
+	// backend arrival and placement. Nil (direct Placer tests, service
+	// replicas without task traces) disables emission.
+	Trace *profiler.TaskTrace
+	// EnqueuedAt is when the request entered the backend queue (set by
+	// Enqueue); negative until then.
+	EnqueuedAt sim.Time
+	// Denied records that the placer considered the request and found no
+	// capacity at least once — the difference between plain FIFO queueing
+	// and placement starvation in the blame taxonomy.
+	Denied bool
+}
+
+// Enqueue stamps the request's arrival in a backend queue. Backends call it
+// immediately before Queue.Push so the subsequent placement can attribute
+// the wait. Re-enqueues (retries) reset the starvation marker.
+func (r *Request) Enqueue(at sim.Time) {
+	r.EnqueuedAt = at
+	r.Denied = false
 }
 
 // NotifyStart delivers the start callback.
@@ -444,12 +464,17 @@ func (p *Placer) NextRequest(at sim.Time, queue *Queue, backfill int) (int, *pla
 		n = queue.Len()
 	}
 	for i := 0; i < n; i++ {
-		if pl := p.PlaceRequest(at, queue.At(i)); pl != nil {
+		r := queue.At(i)
+		if pl := p.PlaceRequest(at, r); pl != nil {
 			if i > 0 {
 				p.stats.BackfillHits++
 			}
 			return i, pl
 		}
+		// The placer looked at this request and found no capacity: from
+		// here on its queue wait counts as placement starvation, not
+		// plain FIFO delay.
+		r.Denied = true
 	}
 	return -1, nil
 }
@@ -462,7 +487,18 @@ func (p *Placer) PopNext(at sim.Time, queue *Queue, backfill int) (*Request, *pl
 	if pl == nil {
 		return nil, nil
 	}
-	return queue.PopAt(idx), pl
+	r := queue.PopAt(idx)
+	// The queue wait just resolved: attribute it. A request the placer
+	// denied at least once starved on capacity; one placed on its first
+	// consideration merely queued behind earlier work.
+	if r.Trace != nil && r.EnqueuedAt >= 0 && at > r.EnqueuedAt {
+		kind := profiler.EdgeQueued
+		if r.Denied {
+			kind = profiler.EdgeStarved
+		}
+		r.Trace.AddEdge(profiler.CausalEdge{Kind: kind, From: r.EnqueuedAt, To: at})
+	}
+	return r, pl
 }
 
 // placePreferredOnly claims the first hinted node with capacity, without

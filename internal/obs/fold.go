@@ -26,6 +26,11 @@ import (
 
 // Fold is a streaming TraceSink computing summary metrics incrementally.
 type Fold struct {
+	// Blame, when set, receives every record for the streaming
+	// critical-path decomposition (constant trace memory either way). Nil
+	// keeps the plain fold allocation-free per task.
+	Blame *Blame
+
 	// Task aggregates.
 	tasks   int
 	failed  int
@@ -90,6 +95,9 @@ func (*Fold) Flush() error { return nil }
 
 // OnTask folds one terminal task record.
 func (f *Fold) OnTask(t *profiler.TaskTrace) {
+	if f.Blame != nil {
+		f.Blame.OnTask(t)
+	}
 	f.tasks++
 	if t.Failed {
 		f.failed++

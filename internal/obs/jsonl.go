@@ -16,6 +16,45 @@ import (
 	"rpgo/internal/sim"
 )
 
+// EdgeRecord is the JSONL form of profiler.CausalEdge: a typed wait with
+// its resolution window and the blocking entity's reference.
+type EdgeRecord struct {
+	Kind string `json:"kind"`
+	From int64  `json:"from"`
+	To   int64  `json:"to"`
+	Ref  string `json:"ref,omitempty"`
+}
+
+// newEdgeRecords converts causal edges to their JSONL form (nil in, nil
+// out, so edge-free records spill no "edges" key).
+func newEdgeRecords(edges []profiler.CausalEdge) []EdgeRecord {
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]EdgeRecord, len(edges))
+	for i, e := range edges {
+		out[i] = EdgeRecord{Kind: e.Kind.String(), From: int64(e.From), To: int64(e.To), Ref: e.Ref}
+	}
+	return out
+}
+
+// edgeTraces converts JSONL edge records back to causal edges; unknown
+// kind names (future schema) are dropped rather than misattributed.
+func edgeTraces(recs []EdgeRecord) []profiler.CausalEdge {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]profiler.CausalEdge, 0, len(recs))
+	for _, r := range recs {
+		k, ok := profiler.EdgeKindFromString(r.Kind)
+		if !ok {
+			continue
+		}
+		out = append(out, profiler.CausalEdge{Kind: k, From: sim.Time(r.From), To: sim.Time(r.To), Ref: r.Ref})
+	}
+	return out
+}
+
 // TaskRecord is the JSONL form of profiler.TaskTrace.
 type TaskRecord struct {
 	UID       string `json:"uid"`
@@ -40,6 +79,8 @@ type TaskRecord struct {
 	StageOut  int64  `json:"stage_out,omitempty"`
 	DataHits  int    `json:"data_hits,omitempty"`
 	DataMiss  int    `json:"data_miss,omitempty"`
+
+	Edges []EdgeRecord `json:"edges,omitempty"`
 }
 
 // NewTaskRecord converts a trace to its JSONL record.
@@ -67,6 +108,7 @@ func NewTaskRecord(t *profiler.TaskTrace) TaskRecord {
 		StageOut:  int64(t.StageOut),
 		DataHits:  t.DataHits,
 		DataMiss:  t.DataMisses,
+		Edges:     newEdgeRecords(t.Edges),
 	}
 }
 
@@ -96,11 +138,13 @@ func (r *TaskRecord) Trace() *profiler.TaskTrace {
 		StageOut:        sim.Duration(r.StageOut),
 		DataHits:        r.DataHits,
 		DataMisses:      r.DataMiss,
+		Edges:           edgeTraces(r.Edges),
 	}
 }
 
 // TransferRecord is the JSONL form of profiler.TransferTrace.
 type TransferRecord struct {
+	UID     string `json:"uid,omitempty"`
 	Dataset string `json:"dataset"`
 	Task    string `json:"task,omitempty"`
 	Bytes   int64  `json:"bytes"`
@@ -109,23 +153,27 @@ type TransferRecord struct {
 	Node    int    `json:"node"`
 	Start   int64  `json:"start"`
 	End     int64  `json:"end"`
+
+	Edges []EdgeRecord `json:"edges,omitempty"`
 }
 
 // NewTransferRecord converts a trace to its JSONL record.
 func NewTransferRecord(t profiler.TransferTrace) TransferRecord {
 	return TransferRecord{
-		Dataset: t.Dataset, Task: t.Task, Bytes: t.Bytes,
+		UID: t.UID, Dataset: t.Dataset, Task: t.Task, Bytes: t.Bytes,
 		Src: t.Src, Dst: t.Dst, Node: t.Node,
 		Start: int64(t.Start), End: int64(t.End),
+		Edges: newEdgeRecords(t.Edges),
 	}
 }
 
 // Trace converts the record back to a profiler.TransferTrace.
 func (r *TransferRecord) Trace() profiler.TransferTrace {
 	return profiler.TransferTrace{
-		Dataset: r.Dataset, Task: r.Task, Bytes: r.Bytes,
+		UID: r.UID, Dataset: r.Dataset, Task: r.Task, Bytes: r.Bytes,
 		Src: r.Src, Dst: r.Dst, Node: r.Node,
 		Start: sim.Time(r.Start), End: sim.Time(r.End),
+		Edges: edgeTraces(r.Edges),
 	}
 }
 
@@ -140,6 +188,8 @@ type RequestRecord struct {
 	Done       int64  `json:"done"`
 	Batch      int    `json:"batch,omitempty"`
 	Failed     bool   `json:"failed,omitempty"`
+
+	Edges []EdgeRecord `json:"edges,omitempty"`
 }
 
 // NewRequestRecord converts a trace to its JSONL record.
@@ -148,6 +198,7 @@ func NewRequestRecord(t profiler.RequestTrace) RequestRecord {
 		UID: t.UID, Service: t.Service, Replica: t.Replica, Task: t.Task,
 		Issued: int64(t.Issued), Dispatched: int64(t.Dispatched),
 		Done: int64(t.Done), Batch: t.Batch, Failed: t.Failed,
+		Edges: newEdgeRecords(t.Edges),
 	}
 }
 
@@ -157,6 +208,7 @@ func (r *RequestRecord) Trace() profiler.RequestTrace {
 		UID: r.UID, Service: r.Service, Replica: r.Replica, Task: r.Task,
 		Issued: sim.Time(r.Issued), Dispatched: sim.Time(r.Dispatched),
 		Done: sim.Time(r.Done), Batch: r.Batch, Failed: r.Failed,
+		Edges: edgeTraces(r.Edges),
 	}
 }
 

@@ -23,7 +23,8 @@ import (
 )
 
 // TraceEvent is one Chrome trace-event object (the subset we emit and
-// validate: complete spans "X" and metadata "M").
+// validate: complete spans "X", metadata "M", and flow events "s"/"f"
+// along causal edges).
 type TraceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -32,6 +33,8 @@ type TraceEvent struct {
 	Dur  int64          `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -49,12 +52,27 @@ type PerfettoWriter struct {
 	n       int
 	nextTid [4]int // per-pid track allocator
 	err     error
+
+	// sources maps exported record UIDs (transfers, requests, tasks) to
+	// their track coordinates so causal edges referencing them render as
+	// clickable flow arrows. Edges whose source spills after the
+	// referencing record (or names a non-record entity like a channel or
+	// service) draw no arrow — the edge still rides in the record's args.
+	sources  map[string]flowSrc
+	nextFlow int64
+}
+
+// flowSrc is one potential flow origin: a slice's track and end time.
+type flowSrc struct {
+	pid int
+	tid int
+	ts  int64
 }
 
 // NewPerfettoWriter starts a trace-event JSON document on w and emits the
 // process-name metadata.
 func NewPerfettoWriter(w io.Writer) *PerfettoWriter {
-	pw := &PerfettoWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	pw := &PerfettoWriter{w: bufio.NewWriterSize(w, 1<<16), sources: make(map[string]flowSrc)}
 	_, pw.err = pw.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
 	for pid, name := range []string{PidTasks: "tasks", PidData: "data", PidServices: "services"} {
 		if name == "" {
@@ -100,6 +118,27 @@ func (pw *PerfettoWriter) span(name string, start, end int64, pid, tid int, args
 	})
 }
 
+// flows draws one arrow per causal edge whose referenced source already
+// spilled: a flow start ("s") on the source slice and a binding finish
+// ("f", bp="e") on the destination at the moment the wait resolved.
+func (pw *PerfettoWriter) flows(edges []EdgeRecord, dstPid, dstTid int) {
+	for _, e := range edges {
+		src, ok := pw.sources[e.Ref]
+		if !ok || e.To < 0 {
+			continue
+		}
+		pw.nextFlow++
+		pw.event(TraceEvent{
+			Name: e.Kind, Cat: "causal", Ph: "s",
+			Ts: src.ts, Pid: src.pid, Tid: src.tid, ID: pw.nextFlow,
+		})
+		pw.event(TraceEvent{
+			Name: e.Kind, Cat: "causal", Ph: "f", BP: "e",
+			Ts: e.To, Pid: dstPid, Tid: dstTid, ID: pw.nextFlow,
+		})
+	}
+}
+
 // track claims the next thread track of a pid and names it.
 func (pw *PerfettoWriter) track(pid int, name string) int {
 	tid := pw.nextTid[pid]
@@ -140,14 +179,33 @@ func (pw *PerfettoWriter) Task(t *TaskRecord) {
 		pw.span("stage-out", t.End-t.StageOut, t.End, PidTasks, tid,
 			map[string]any{"bytes": t.BytesOut})
 	}
+	pw.flows(t.Edges, PidTasks, tid)
+	if end := max64(t.Final, t.End); end >= 0 {
+		pw.sources[t.UID] = flowSrc{pid: PidTasks, tid: tid, ts: end}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Transfer exports one data movement as a span on its own track.
 func (pw *PerfettoWriter) Transfer(t *TransferRecord) {
 	tid := pw.track(PidData, fmt.Sprintf("%s→%s", t.Src, t.Dst))
-	pw.span("transfer", t.Start, t.End, PidData, tid, map[string]any{
+	args := map[string]any{
 		"dataset": t.Dataset, "bytes": t.Bytes, "task": t.Task,
-	})
+	}
+	if t.UID != "" {
+		args["uid"] = t.UID
+	}
+	pw.span("transfer", t.Start, t.End, PidData, tid, args)
+	pw.flows(t.Edges, PidData, tid)
+	if t.UID != "" && t.End >= 0 {
+		pw.sources[t.UID] = flowSrc{pid: PidData, tid: tid, ts: t.End}
+	}
 }
 
 // Request exports one inference request with wait/serve children.
@@ -160,6 +218,12 @@ func (pw *PerfettoWriter) Request(r *RequestRecord) {
 	pw.span("request", r.Issued, r.Done, PidServices, tid, args)
 	pw.span("wait", r.Issued, r.Dispatched, PidServices, tid, nil)
 	pw.span("serve", r.Dispatched, r.Done, PidServices, tid, nil)
+	pw.flows(r.Edges, PidServices, tid)
+	// A request's causal moment is its batch dispatch (followers point at
+	// the leader's dispatch, not its completion).
+	if ts := max64(r.Dispatched, r.Issued); ts >= 0 {
+		pw.sources[r.UID] = flowSrc{pid: PidServices, tid: tid, ts: ts}
+	}
 }
 
 // Record exports whichever record member is set.
@@ -185,8 +249,15 @@ func (pw *PerfettoWriter) Close() error {
 	return pw.w.Flush()
 }
 
-// validPhases are the trace-event phases this exporter may emit.
-var validPhases = map[string]bool{"X": true, "M": true, "B": true, "E": true, "i": true}
+// validPhases are the trace-event phases this exporter may emit. "s"/"t"/
+// "f" are flow start/step/finish along causal edges.
+var validPhases = map[string]bool{
+	"X": true, "M": true, "B": true, "E": true, "i": true,
+	"s": true, "t": true, "f": true,
+}
+
+// flowPhases require a flow id binding start to finish.
+var flowPhases = map[string]bool{"s": true, "t": true, "f": true}
 
 // ValidateTraceEvents checks a trace-event JSON document against the
 // Chrome schema subset: a top-level traceEvents array whose members carry
@@ -203,6 +274,8 @@ func ValidateTraceEvents(r io.Reader) (int, error) {
 	if doc.TraceEvents == nil {
 		return 0, fmt.Errorf("obs: missing traceEvents array")
 	}
+	flowStart := map[int64]bool{}
+	flowEnd := map[int64]bool{}
 	for i, raw := range doc.TraceEvents {
 		var ev TraceEvent
 		if err := json.Unmarshal(raw, &ev); err != nil {
@@ -222,6 +295,22 @@ func ValidateTraceEvents(r io.Reader) (int, error) {
 		}
 		if ev.Ph == "X" && ev.Dur < 0 {
 			return 0, fmt.Errorf("obs: event %d: negative dur %d", i, ev.Dur)
+		}
+		if flowPhases[ev.Ph] {
+			if ev.ID == 0 {
+				return 0, fmt.Errorf("obs: event %d: flow phase %q without id", i, ev.Ph)
+			}
+			switch ev.Ph {
+			case "s":
+				flowStart[ev.ID] = true
+			case "f":
+				flowEnd[ev.ID] = true
+			}
+		}
+	}
+	for id := range flowEnd {
+		if !flowStart[id] {
+			return 0, fmt.Errorf("obs: flow %d finishes without a start", id)
 		}
 	}
 	return len(doc.TraceEvents), nil

@@ -14,6 +14,8 @@ package obs
 // staging channels, "service.*" inference endpoints.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -245,6 +247,99 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 	}
 	return s
+}
+
+// MarshalJSON emits the snapshot with a fixed field order and explicitly
+// sorted map keys, so two snapshots of the same run marshal to identical
+// bytes — snapshot diffs and CI artifacts are byte-deterministic by
+// construction, not by encoder implementation detail. Field names and
+// omit-empty behaviour match the struct tags, so the standard decoder
+// reads it back unchanged.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	fields := 0
+	put := func(name string, raw []byte) {
+		if fields > 0 {
+			b.WriteByte(',')
+		}
+		fields++
+		key, _ := json.Marshal(name)
+		b.Write(key)
+		b.WriteByte(':')
+		b.Write(raw)
+	}
+	putMap := func(name string, keys []string, value func(k string) any) error {
+		if len(keys) == 0 {
+			return nil
+		}
+		sort.Strings(keys)
+		var mb bytes.Buffer
+		mb.WriteByte('{')
+		for i, k := range keys {
+			raw, err := json.Marshal(value(k))
+			if err != nil {
+				return err
+			}
+			if i > 0 {
+				mb.WriteByte(',')
+			}
+			kk, _ := json.Marshal(k)
+			mb.Write(kk)
+			mb.WriteByte(':')
+			mb.Write(raw)
+		}
+		mb.WriteByte('}')
+		put(name, mb.Bytes())
+		return nil
+	}
+	keysOf := func(n int, each func(add func(string))) []string {
+		ks := make([]string, 0, n)
+		each(func(k string) { ks = append(ks, k) })
+		return ks
+	}
+
+	if s.TickSeconds != 0 {
+		raw, err := json.Marshal(s.TickSeconds)
+		if err != nil {
+			return nil, err
+		}
+		put("tick_seconds", raw)
+	}
+	err := putMap("counters", keysOf(len(s.Counters), func(add func(string)) {
+		for k := range s.Counters {
+			add(k)
+		}
+	}), func(k string) any { return s.Counters[k] })
+	if err != nil {
+		return nil, err
+	}
+	err = putMap("gauges", keysOf(len(s.Gauges), func(add func(string)) {
+		for k := range s.Gauges {
+			add(k)
+		}
+	}), func(k string) any { return s.Gauges[k] })
+	if err != nil {
+		return nil, err
+	}
+	err = putMap("histograms", keysOf(len(s.Histograms), func(add func(string)) {
+		for k := range s.Histograms {
+			add(k)
+		}
+	}), func(k string) any { return s.Histograms[k] })
+	if err != nil {
+		return nil, err
+	}
+	err = putMap("series", keysOf(len(s.Series), func(add func(string)) {
+		for k := range s.Series {
+			add(k)
+		}
+	}), func(k string) any { return s.Series[k] })
+	if err != nil {
+		return nil, err
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
 }
 
 // Render formats the snapshot as a sorted text table for reports.

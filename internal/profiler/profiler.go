@@ -14,6 +14,103 @@ import (
 	"rpgo/internal/sim"
 )
 
+// EdgeKind classifies a causal wait: what a record was blocked on before it
+// could make progress. Kinds map one-to-one onto the blame taxonomy used by
+// the critical-path engine (internal/analytics).
+type EdgeKind uint8
+
+const (
+	// EdgeQueued: the task sat in the backend placement queue behind
+	// earlier work (plain FIFO wait; placement never refused it).
+	EdgeQueued EdgeKind = iota
+	// EdgeStarved: the task was considered by the placer and denied at
+	// least once for lack of free slots (placement starvation).
+	EdgeStarved
+	// EdgeStage: the task waited on its own staging transfer (Ref is the
+	// transfer UID).
+	EdgeStage
+	// EdgeTransfer: the task piggybacked on another task's in-flight
+	// transfer of the same dataset (Ref is that transfer's UID).
+	EdgeTransfer
+	// EdgeService: the task body blocked on an inference call (Ref is the
+	// service name).
+	EdgeService
+	// EdgeRetry: the task was re-dispatched after a failure (Ref is the
+	// failure reason); the edge spans the backoff.
+	EdgeRetry
+	// EdgeBatch: the request was served in a batch formed around an
+	// earlier request (Ref is the batch leader's UID).
+	EdgeBatch
+	// EdgeReplica: the request waited for a serving replica to come free
+	// (Ref is the replica UID that eventually served it).
+	EdgeReplica
+	// EdgeContention: the transfer shared a bandwidth channel with other
+	// in-flight transfers (Ref is the contended channel name).
+	EdgeContention
+)
+
+var edgeKindNames = [...]string{
+	EdgeQueued:     "queued",
+	EdgeStarved:    "starved",
+	EdgeStage:      "stage",
+	EdgeTransfer:   "transfer",
+	EdgeService:    "service",
+	EdgeRetry:      "retry",
+	EdgeBatch:      "batch",
+	EdgeReplica:    "replica",
+	EdgeContention: "contention",
+}
+
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeKindNames) {
+		return edgeKindNames[k]
+	}
+	return "unknown"
+}
+
+// EdgeKindFromString maps a serialized kind name back to its EdgeKind;
+// ok=false for names no release ever wrote.
+func EdgeKindFromString(s string) (EdgeKind, bool) {
+	for k, n := range edgeKindNames {
+		if n == s {
+			return EdgeKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// CausalEdge records one resolved wait: the record holding the edge was
+// blocked from From to To on the thing named by Kind/Ref. Edges are emitted
+// at the moment the wait resolves and never mutate simulation state.
+type CausalEdge struct {
+	Kind EdgeKind
+	// From is when the wait began, To when it resolved.
+	From sim.Time
+	To   sim.Time
+	// Ref names the blocking entity: a transfer UID, request UID, replica
+	// UID, service name, channel name, or retry reason, per Kind.
+	Ref string
+}
+
+// Wait returns the edge's blocked duration.
+func (e CausalEdge) Wait() sim.Duration { return e.To.Sub(e.From) }
+
+// addEdge appends an edge to a lazily-allocated slice. Most records carry a
+// handful of edges, so the first append reserves a small capacity to keep
+// the steady-state cost at one allocation per record. Retained task traces
+// do even better: the profiler pre-slices their Edges out of a chunked
+// arena (see Profiler.Task), so appends up to edgeCap are allocation-free.
+func addEdge(edges []CausalEdge, e CausalEdge) []CausalEdge {
+	if edges == nil {
+		edges = make([]CausalEdge, 0, 4)
+	}
+	return append(edges, e)
+}
+
+// edgeCap is the per-task edge capacity carved from the edge arena; tasks
+// with more edges spill to a regular heap slice on the fifth append.
+const edgeCap = 4
+
 // TaskTrace is the compact per-task record. A negative time means the event
 // did not (or has not yet) happened.
 type TaskTrace struct {
@@ -60,7 +157,14 @@ type TaskTrace struct {
 	// needed a transfer.
 	DataHits   int
 	DataMisses int
+	// Edges are the resolved causal waits of this task, in resolution
+	// order. Golden-fingerprint hashes enumerate fields explicitly, so
+	// edges never perturb trace determinism checks.
+	Edges []CausalEdge
 }
+
+// AddEdge appends one resolved causal wait to the task's record.
+func (t *TaskTrace) AddEdge(e CausalEdge) { t.Edges = addEdge(t.Edges, e) }
 
 const unset = sim.Time(-1)
 
@@ -102,7 +206,13 @@ type RequestTrace struct {
 	// Failed marks requests that errored (endpoint closed, replica lost
 	// beyond recovery).
 	Failed bool
+	// Edges are the resolved causal waits of this request (batch
+	// formation, replica availability).
+	Edges []CausalEdge
 }
+
+// AddEdge appends one resolved causal wait to the request's record.
+func (r *RequestTrace) AddEdge(e CausalEdge) { r.Edges = addEdge(r.Edges, e) }
 
 // Latency returns issue→response, the client-observed request latency.
 func (r *RequestTrace) Latency() sim.Duration { return r.Done.Sub(r.Issued) }
@@ -115,6 +225,9 @@ func (r *RequestTrace) QueueWait() sim.Duration { return r.Dispatched.Sub(r.Issu
 // locations. Traces append in completion order, which is deterministic for
 // a fixed seed.
 type TransferTrace struct {
+	// UID identifies the transfer (e.g. "xfer.000042") so causal edges on
+	// tasks can name the exact movement they waited on.
+	UID string
 	// Dataset is the dataset name; Task the staging task's UID (empty
 	// for transfers outside any task).
 	Dataset string
@@ -130,7 +243,13 @@ type TransferTrace struct {
 	// latency); End when the last byte arrived.
 	Start sim.Time
 	End   sim.Time
+	// Edges are the resolved causal waits of this transfer (channel
+	// contention).
+	Edges []CausalEdge
 }
+
+// AddEdge appends one resolved causal wait to the transfer's record.
+func (t *TransferTrace) AddEdge(e CausalEdge) { t.Edges = addEdge(t.Edges, e) }
 
 // Duration returns the transfer's time in the channels.
 func (t *TransferTrace) Duration() sim.Duration { return t.End.Sub(t.Start) }
@@ -172,6 +291,10 @@ type Profiler struct {
 	// arena chunks TaskTrace storage so tracing n tasks costs n/chunk
 	// allocations instead of n (the largest campaigns trace >200k tasks).
 	arena []TaskTrace
+	// edgeArena chunks the Edges backing storage the same way: every
+	// retained trace starts with an edgeCap-capacity slice carved from a
+	// shared chunk, so causal emitters append without allocating.
+	edgeArena []CausalEdge
 
 	// sink observes completed records; retain controls whether the
 	// profiler also keeps them (streaming sinks turn retention off).
@@ -249,6 +372,11 @@ func (p *Profiler) Task(uid string) *TaskTrace {
 		End:       unset,
 		Final:     unset,
 	}
+	if len(p.edgeArena) < edgeCap {
+		p.edgeArena = make([]CausalEdge, 512*edgeCap)
+	}
+	t.Edges = p.edgeArena[:0:edgeCap]
+	p.edgeArena = p.edgeArena[edgeCap:]
 	p.traces[uid] = t
 	p.order = append(p.order, t)
 	return t

@@ -191,6 +191,7 @@ func (d *DVM) Submit(r *launch.Request) {
 		d.fail(r, fmt.Sprintf("task %s cannot fit DVM partition of %d nodes", r.UID, d.Nodes()))
 		return
 	}
+	r.Enqueue(d.eng.Now())
 	d.queue.Push(r)
 	d.pump()
 }

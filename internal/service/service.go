@@ -487,11 +487,22 @@ func (e *Endpoint) completeBatch(rep *replica) {
 	rep.state = replIdle
 	for _, r := range batch {
 		e.served++
-		e.prof.Request(profiler.RequestTrace{
+		rt := profiler.RequestTrace{
 			UID: r.uid, Service: e.desc.Name, Replica: rep.uid, Task: r.task,
 			Issued: r.issued, Dispatched: r.dispatched, Done: now,
 			Batch: len(batch),
-		})
+		}
+		if r.dispatched > r.issued {
+			// The queue wait just resolved: a request batched behind the
+			// batch leader waited on batch formation; a lone request
+			// waited for a replica to come free.
+			kind, ref := profiler.EdgeReplica, rep.uid
+			if len(batch) > 1 && r != batch[0] {
+				kind, ref = profiler.EdgeBatch, batch[0].uid
+			}
+			rt.AddEdge(profiler.CausalEdge{Kind: kind, From: r.issued, To: r.dispatched, Ref: ref})
+		}
+		e.prof.Request(rt)
 		done := r.done
 		e.eng.Immediately(func() { done(now, false) })
 	}

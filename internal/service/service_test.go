@@ -1,6 +1,7 @@
 package service
 
 import (
+	"reflect"
 	"testing"
 
 	"rpgo/internal/model"
@@ -419,7 +420,7 @@ func TestDeterministicRequestTrace(t *testing.T) {
 		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("trace %d differs:\n%+v\n%+v", i, a[i], b[i])
 		}
 	}

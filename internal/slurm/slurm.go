@@ -21,6 +21,7 @@ import (
 	"rpgo/internal/launch"
 	"rpgo/internal/model"
 	"rpgo/internal/platform"
+	"rpgo/internal/profiler"
 	"rpgo/internal/rng"
 	"rpgo/internal/sim"
 	"rpgo/internal/spec"
@@ -178,6 +179,7 @@ func (s *SrunLauncher) Submit(r *launch.Request) {
 		s.fail(r, fmt.Sprintf("task %s cannot fit partition of %d nodes", r.UID, s.Nodes()))
 		return
 	}
+	r.Enqueue(s.eng.Now())
 	s.queue.Push(r)
 	s.pump()
 }
@@ -216,7 +218,18 @@ func (s *SrunLauncher) launch(r *launch.Request, pl *platform.Placement) {
 		stepNodes = 1
 	}
 	st := &srunTask{r: r, pl: pl}
+	queuedAt := s.eng.Now()
 	s.ctrl.StartStep(s.Nodes(), stepNodes, func(release func()) {
+		// The wait for a ceiling slot (and the controller's serial step
+		// registrar) is queueing behind a system-wide throttle, not
+		// placement: Fig 4's utilization cap shows up here.
+		if r.Trace != nil {
+			if now := s.eng.Now(); now > queuedAt {
+				r.Trace.AddEdge(profiler.CausalEdge{
+					Kind: profiler.EdgeQueued, From: queuedAt, To: now, Ref: "srun.ceiling",
+				})
+			}
+		}
 		st.release = release
 		prolog := s.ctrl.params.PrologMedian / s.rateMult
 		d := sim.Seconds(s.rand.LogNormal(prolog, s.ctrl.params.PrologSigma))

@@ -35,6 +35,7 @@ import (
 	"io"
 
 	"rpgo/internal/agent"
+	"rpgo/internal/analytics"
 	"rpgo/internal/core"
 	"rpgo/internal/metrics"
 	"rpgo/internal/model"
@@ -230,3 +231,62 @@ type MetricsRegistry = obs.Registry
 // MetricsSnapshot is a JSON-ready export of the registry; obtain one from
 // Session.MetricsSnapshot().
 type MetricsSnapshot = obs.Snapshot
+
+// --- causal tracing & blame (internal/analytics, internal/obs) ---
+
+// CausalEdge is one resolved wait on a trace record: what the task,
+// transfer or request was blocked on, from when to when, and a reference
+// to the blocking entity (transfer UID, request UID, service or channel
+// name, retry reason).
+type CausalEdge = profiler.CausalEdge
+
+// EdgeKind classifies a causal wait.
+type EdgeKind = profiler.EdgeKind
+
+// Causal edge kinds.
+const (
+	EdgeQueued     = profiler.EdgeQueued
+	EdgeStarved    = profiler.EdgeStarved
+	EdgeStage      = profiler.EdgeStage
+	EdgeTransfer   = profiler.EdgeTransfer
+	EdgeService    = profiler.EdgeService
+	EdgeRetry      = profiler.EdgeRetry
+	EdgeBatch      = profiler.EdgeBatch
+	EdgeReplica    = profiler.EdgeReplica
+	EdgeContention = profiler.EdgeContention
+)
+
+// BlameSink is the streaming critical-path sink: it digests each terminal
+// task into a compact causal summary and runs the online straggler
+// detector; Report() decomposes the makespan into blame categories. Use it
+// standalone on Config.Sink, or hang it off a FoldSink's Blame field to
+// get summary metrics and blame from one pass.
+type BlameSink = obs.Blame
+
+// NewBlameSink returns an empty blame sink with default straggler
+// thresholds.
+func NewBlameSink() *BlameSink { return obs.NewBlame() }
+
+// BlameReport is the makespan decomposition of one run: per-category time
+// budget (sums exactly to makespan), the critical chain, and flagged
+// stragglers.
+type BlameReport = analytics.BlameReport
+
+// BlameCategory is one bucket of the decomposition.
+type BlameCategory = analytics.BlameCategory
+
+// Blame categories.
+const (
+	BlameExec       = analytics.BlameExec
+	BlameQueue      = analytics.BlameQueue
+	BlameStarve     = analytics.BlameStarve
+	BlameData       = analytics.BlameData
+	BlameService    = analytics.BlameService
+	BlameMiddleware = analytics.BlameMiddleware
+)
+
+// ComputeBlame decomposes a retained session's traces (the in-memory path;
+// streaming runs use a BlameSink instead — both produce identical reports).
+func ComputeBlame(tasks []*profiler.TaskTrace) BlameReport {
+	return analytics.BlameFromTraces(tasks)
+}

@@ -1,6 +1,7 @@
 package rp_test
 
 import (
+	"reflect"
 	"testing"
 
 	"rpgo/rp"
@@ -111,7 +112,7 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Fatalf("trace lengths %d vs %d", len(reqs), len(reqs2))
 	}
 	for i := range reqs {
-		if reqs[i] != reqs2[i] {
+		if !reflect.DeepEqual(reqs[i], reqs2[i]) {
 			t.Fatalf("request trace %d differs:\n%+v\n%+v", i, reqs[i], reqs2[i])
 		}
 	}
