@@ -5,12 +5,20 @@
 // Usage:
 //
 //	go test -bench . -benchtime 1x -benchmem -run '^$' . | go run ./cmd/benchjson -out BENCH.json
+//	go run ./cmd/benchjson run [-bench REGEX] [-benchtime 1x] [-cpu LIST] [-out BENCH.json] [PKG]
 //	go run ./cmd/benchjson diff [-max-regress 15] [-gate Name1,Name2] OLD.json NEW.json
+//
+// The run subcommand invokes `go test -bench` itself and archives the
+// parsed output, capturing the per-benchmark -cpu/GOMAXPROCS suffix that
+// the stdin path also records — with a parallel (sharded) engine, a
+// benchmark number is meaningless without the core count it ran on.
 //
 // The diff subcommand prints per-benchmark % deltas of ns/op and
 // allocs/op (negative = improvement). With -gate it exits non-zero when
 // any gated benchmark regressed by more than -max-regress percent on
-// either metric — the CI performance ratchet.
+// either metric — the CI performance ratchet. Gate failures print each
+// side's cpu count and shard count (the `shards` metric, when reported)
+// so cross-environment noise is recognizable at a glance.
 package main
 
 import (
@@ -31,6 +39,9 @@ import (
 type Benchmark struct {
 	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
 	Name string `json:"name"`
+	// Cpu is that stripped suffix — the GOMAXPROCS the benchmark ran
+	// with (1 when the line carried none).
+	Cpu int `json:"cpu,omitempty"`
 	// Iterations is b.N for the run.
 	Iterations int64 `json:"iterations"`
 	// Metrics maps unit → value for every reported metric (ns/op, B/op,
@@ -88,6 +99,10 @@ func main() {
 		diffMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		runMain(os.Args[2:])
+		return
+	}
 	out := flag.String("out", "", "output path (default stdout)")
 	flag.Parse()
 
@@ -104,21 +119,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	writeReport(report, *out)
+}
 
+// writeReport marshals the report to the output path (stdout when empty).
+func writeReport(report Report, out string) {
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runMain implements `benchjson run`: it drives `go test -bench` itself,
+// echoes the raw lines to stderr for the CI log, and archives the parsed
+// report — including the per-benchmark cpu suffix the -cpu flag produces.
+func runMain(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	out := fs.String("out", "", "output path (default stdout)")
+	bench := fs.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := fs.String("benchtime", "1x", "go test -benchtime value")
+	cpu := fs.String("cpu", "", "go test -cpu list (empty = current GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	pkg := "."
+	if fs.NArg() > 0 {
+		pkg = fs.Arg(0)
+	}
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}
+	if *cpu != "" {
+		goArgs = append(goArgs, "-cpu", *cpu)
+	}
+	goArgs = append(goArgs, pkg)
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	report := Report{Meta: collectMeta(), Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(pipe)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if b, ok := parseLine(line); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: go test:", err)
+		os.Exit(1)
+	}
+	writeReport(report, *out)
 }
 
 // diffMetrics are the metrics the diff table and the gate look at.
@@ -213,11 +281,34 @@ func diffMain(args []string) {
 		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) regressed >%.0f%%: %s\n",
 			len(failed), *maxRegress, strings.Join(failed, ", "))
 		// Mismatched environments are the usual benign explanation — show
-		// both before failing.
+		// both, plus each failure's cpu and shard counts (parallel-engine
+		// numbers are meaningless without them), before failing.
 		fmt.Fprintf(os.Stderr, "benchjson: old: %s\n", old.Meta.describe())
 		fmt.Fprintf(os.Stderr, "benchjson: new: %s\n", new_.Meta.describe())
+		for _, name := range failed {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: old %s, new %s\n",
+				name, describeParallel(oldBy[name]), describeParallel(newBy[name]))
+		}
 		os.Exit(1)
 	}
+}
+
+// describeParallel renders a benchmark's parallelism context: the cpu
+// suffix it ran under and, for sharded-engine benchmarks, the reported
+// shard count.
+func describeParallel(b Benchmark) string {
+	if b.Name == "" {
+		return "(missing)"
+	}
+	cpu := b.Cpu
+	if cpu == 0 {
+		cpu = 1
+	}
+	s := fmt.Sprintf("cpu=%d", cpu)
+	if shards, ok := b.Metrics["shards"]; ok {
+		s += fmt.Sprintf(" shards=%.0f", shards)
+	}
+	return s
 }
 
 func loadReport(path string) Report {
@@ -244,16 +335,18 @@ func parseLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
+	cpu := 1
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
+			cpu = p
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	b := Benchmark{Name: name, Cpu: cpu, Iterations: iters, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {

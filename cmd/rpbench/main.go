@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	rpbench [-full] [-reps N] [-seed S] [-parallel N] [-only table1|fig4|fig5|fig6|fig7|fig8|claims|telemetry|blame]
+//	rpbench [-full] [-reps N] [-seed S] [-parallel N] [-shards N] [-only table1|fig4|fig5|fig6|fig7|fig8|claims|telemetry|blame|sharded]
 //
 // Without -only it runs the complete suite. -full includes the 1024-node
 // throughput sweeps (slower); Fig 8 and the claims always run the paper's
 // 256- and 1024-node campaign configurations. -parallel runs independent
 // experiment cells on N workers; output is identical to the serial run
 // (cells derive their seeds from grid position, results are folded in
-// cell order).
+// cell order). The sharded artifact runs one multi-pilot campaign at 1, 2,
+// 4, … up to -shards worker shards (default derived from NumCPU) and
+// prints the wall-clock speedup scorecard — the simulated result is
+// identical at every shard count, so only wall time moves.
 package main
 
 import (
@@ -28,7 +31,8 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per throughput cell")
 	seed := flag.Uint64("seed", 20250916, "base RNG seed")
 	parallel := flag.Int("parallel", 1, "worker count for independent experiment cells")
-	only := flag.String("only", "", "run a single artifact: table1, fig4, fig5, fig6, fig7, fig8, claims, telemetry, blame")
+	shards := flag.Int("shards", experiments.DefaultShards(), "max worker shards for the sharded-engine scorecard")
+	only := flag.String("only", "", "run a single artifact: table1, fig4, fig5, fig6, fig7, fig8, claims, telemetry, blame, sharded")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
@@ -47,6 +51,7 @@ func main() {
 		{"claims", func() string { return experiments.ReportClaims(sc) }},
 		{"telemetry", func() string { return experiments.ReportTelemetry(sc) }},
 		{"blame", func() string { return experiments.ReportBlame(sc) }},
+		{"sharded", func() string { return reportSharded(*shards, sc.Seed) }},
 	}
 
 	ran := 0
@@ -65,4 +70,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpbench: unknown artifact %q\n", *only)
 		os.Exit(2)
 	}
+}
+
+// reportSharded renders the speedup-vs-shards scorecard for the 65536-node
+// multi-pilot campaign.
+func reportSharded(maxShards int, seed uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sharded engine scorecard — 16 pilots × 4096 nodes, IMPECCABLE/Flux (seed %d)\n\n", seed)
+	fmt.Fprintf(&sb, "%8s %12s %10s %10s %10s\n", "shards", "wall", "speedup", "tasks", "windows")
+	for _, row := range experiments.ReportSharded(65536, 16, maxShards, seed, 0) {
+		fmt.Fprintf(&sb, "%8d %12s %9.2fx %10d %10d\n",
+			row.Shards, row.Wall.Round(time.Millisecond), row.Speedup, row.Tasks, row.Windows)
+	}
+	sb.WriteString("\nSimulated traces are identical at every shard count; only wall time moves.")
+	return sb.String()
 }

@@ -48,6 +48,10 @@ type Config struct {
 	// MinTasksPer128Nodes is the paper's consistency lower bound; zero
 	// defaults to 102.
 	MinTasksPer128Nodes int
+	// SizingStream names the RNG stream driving adaptive batch jitter;
+	// empty means "campaign.adaptive". Sharded runs give each per-pilot
+	// campaign its own stream so sizing decisions stay decorrelated.
+	SizingStream string
 }
 
 // IterationRecord captures one pipeline iteration for analysis.
@@ -104,7 +108,11 @@ func New(cfg Config, sess *core.Session, tm *core.TaskManager) *Campaign {
 		cfg.MinTasksPer128Nodes = 102
 	}
 	c := &Campaign{cfg: cfg, sess: sess, tm: tm, byWorkflow: make(map[string]*pipelineState)}
-	c.sizing = sess.Rand("campaign.adaptive")
+	stream := cfg.SizingStream
+	if stream == "" {
+		stream = "campaign.adaptive"
+	}
+	c.sizing = sess.Rand(stream)
 	specs := cfg.Pipelines
 	if specs == nil {
 		specs = workload.ImpeccablePipelines()

@@ -63,13 +63,20 @@ type Session struct {
 	pilotSeq int
 }
 
-// NewSession creates a session.
+// NewSession creates a session with its own event engine.
 func NewSession(cfg Config) *Session {
+	return NewSessionOn(sim.NewEngine(), cfg)
+}
+
+// NewSessionOn creates a session on a caller-owned engine. Sharded sessions
+// use it to bind every partition domain to the engine of its shard; all
+// other session state (controller, profiler, metrics, RNG source) stays
+// domain-local so domains never share mutable state across shards.
+func NewSessionOn(eng *sim.Engine, cfg Config) *Session {
 	params := model.Default()
 	if cfg.Params != nil {
 		params = *cfg.Params
 	}
-	eng := sim.NewEngine()
 	src := rng.New(cfg.Seed)
 	prof := profiler.New()
 	prof.RecordEvents = cfg.RecordEvents
@@ -99,10 +106,17 @@ type Pilot struct {
 	Agent   *agent.Agent
 
 	sess *Session
+	// domain is the simulation partition hosting this pilot (0 in plain
+	// sessions; set by ShardedSession.SubmitPilot).
+	domain int
 	// SubmittedAt / ActiveAt time the pilot bootstrap overhead.
 	SubmittedAt sim.Time
 	ActiveAt    sim.Time
 }
+
+// Domain returns the simulation partition hosting this pilot (0 unless the
+// pilot was submitted through a ShardedSession).
+func (p *Pilot) Domain() int { return p.domain }
 
 // SubmitPilot requests an allocation and bootstraps an agent on it. Each
 // pilot gets a dedicated cluster of exactly its size (batch queue waiting
@@ -241,6 +255,18 @@ type TaskManager struct {
 	// submission (per-task method-value allocations add up at scale).
 	doneFn   func(*agent.Task)
 	submitFn func(any)
+	// xd, when set, routes submit batches and completion notices across
+	// simulation partitions (the pilot lives in another domain of a
+	// ShardedSession); nil keeps the classic same-engine pipe path.
+	xd *xdTransport
+	// doneSendFn runs on the pilot's engine and ships the completion
+	// notice back across the partition boundary; doneRecvFn unwraps it on
+	// the client engine. Both are only set alongside xd.
+	doneSendFn func(*agent.Task)
+	doneRecvFn func(any)
+	// drive, when set, replaces the engine Wait runs to quiescence (the
+	// sharded engine instead of the client partition's engine).
+	drive func()
 }
 
 // TaskManager creates a task manager bound to the pilot.
@@ -314,19 +340,33 @@ func (tm *TaskManager) Submit(tds []*spec.TaskDescription) []*agent.Task {
 	// events this replaces carried consecutive sequence numbers — no
 	// foreign event could interleave between them — so handing the batch
 	// to the agent in one event preserves the exact event order.
-	tm.sess.Engine.AfterCall(sim.Seconds(tm.sess.Params.RP.PipeLatency), tm.submitFn, out)
+	if tm.xd != nil {
+		tm.xd.se.Send(tm.xd.client, tm.xd.pilot, tm.xd.latency, tm.submitFn, out)
+	} else {
+		tm.sess.Engine.AfterCall(sim.Seconds(tm.sess.Params.RP.PipeLatency), tm.submitFn, out)
+	}
 	return out
 }
 
 // submitBatch delivers one Submit batch to the agent.
 func (tm *TaskManager) submitBatch(arg any) {
+	done := tm.doneFn
+	if tm.xd != nil {
+		done = tm.doneSendFn
+	}
 	for _, t := range arg.([]*agent.Task) {
-		tm.pilot.Agent.Submit(t, tm.doneFn)
+		tm.pilot.Agent.Submit(t, done)
 	}
 }
 
 func (tm *TaskManager) taskDone(t *agent.Task) {
 	tm.final++
+	if tm.xd != nil && !tm.sess.Profiler.Retain() {
+		// Cross-domain streaming runs: the final notification fired on the
+		// pilot domain's profiler, so release the client-side index entry
+		// here or it leaks for the life of the campaign.
+		tm.sess.Profiler.TaskRelease(t.TD.UID)
+	}
 	if tm.OnComplete != nil {
 		tm.OnComplete(t)
 	}
@@ -344,7 +384,11 @@ func (tm *TaskManager) taskDone(t *agent.Task) {
 // error if the event queue drains with tasks still pending — that would be
 // a deadlock in the modelled system.
 func (tm *TaskManager) Wait() error {
-	tm.sess.Engine.Run()
+	if tm.drive != nil {
+		tm.drive()
+	} else {
+		tm.sess.Engine.Run()
+	}
 	if tm.final != tm.submitted {
 		return fmt.Errorf("core: %d of %d tasks never finished", tm.submitted-tm.final, tm.submitted)
 	}

@@ -188,6 +188,13 @@ type RPParams struct {
 	StagePerFile float64
 	// RetryBackoff delays executor-level resubmission after a failure.
 	RetryBackoff float64
+	// CrossPartitionLatency is the client↔agent hop when the two live in
+	// different simulation partitions (sharded runs): a WAN/ZMQ round trip
+	// plus batching, rather than the node-local PipeLatency. It doubles as
+	// the sharded engine's conservative lookahead, so it must stay large
+	// enough that synchronization windows amortize (≈100 ms matches the
+	// paper's client-to-HPC control-plane latencies).
+	CrossPartitionLatency float64
 }
 
 // Service holds the inference-service subsystem parameters (the
@@ -309,6 +316,7 @@ func Default() Params {
 			ExecutorSubmitOverhead: 0.0012,
 			StagePerFile:           0.001,
 			RetryBackoff:           1.0,
+			CrossPartitionLatency:  0.1,
 		},
 		Service: ServiceParams{
 			RPCLatency:       0.0005,

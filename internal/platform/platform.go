@@ -175,6 +175,30 @@ func (a *Allocation) Partition(k int) []*Allocation {
 	return parts
 }
 
+// SplitNodes divides a facility-wide node count over d partition domains,
+// remainder spread over the first domains — the node-count view of
+// Partition for sharded sessions, where each pilot domain builds its own
+// Cluster and only the sizes must agree across shard counts. The split is
+// purely arithmetic, so it is deterministic and mapping-invariant.
+func SplitNodes(total, d int) []int {
+	if d <= 0 {
+		panic("platform: domain count must be positive")
+	}
+	if total < d {
+		panic(fmt.Sprintf("platform: cannot split %d nodes into %d domains", total, d))
+	}
+	sizes := make([]int, d)
+	base := total / d
+	rem := total % d
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
 // Slice returns a sub-allocation of n nodes starting at offset start within
 // this allocation. The sub-allocation shares the parent's node ledgers and
 // utilization tracker (used for nested Flux instances).

@@ -396,6 +396,17 @@ func (p *Profiler) TaskFinal(t *TaskTrace) {
 	}
 }
 
+// TaskRelease drops the profiler's index entry for uid without the final
+// notification. Sharded sessions need it: the client profiler registers
+// every trace (so merged output keeps submission order) but TaskFinal fires
+// on the owning pilot's domain profiler, so in streaming mode the client's
+// map entry would otherwise leak. No-op in retain mode.
+func (p *Profiler) TaskRelease(uid string) {
+	if !p.retain {
+		delete(p.traces, uid)
+	}
+}
+
 // Tasks returns all traces in submission order (empty in streaming mode).
 func (p *Profiler) Tasks() []*TaskTrace { return p.order }
 

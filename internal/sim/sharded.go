@@ -1,0 +1,300 @@
+// Sharded engine: conservative-lookahead parallel simulation.
+//
+// A ShardedEngine runs P partition-local event Engines on S worker shards.
+// Partitions are the model's natural boundaries (the client, each pilot, a
+// storage domain); every cross-partition interaction is declared as a
+// timestamped message with a minimum delay, and the smallest declared delay
+// is the lookahead L. Synchronization is conservative and barrier-based:
+//
+//	T     = min over shards of the earliest pending event
+//	limit = T + L
+//
+// Every shard may process its events in [T, limit) in parallel, because any
+// message generated inside the window is stamped at sender-now + delay ≥
+// T + L = limit — it cannot affect the window. At the barrier the staged
+// messages are exchanged and scheduled into their destination engines, and
+// the next window begins. Shards with no events in a window are simply not
+// dispatched, so quiescent partitions fast-forward to the next barrier in
+// O(1).
+//
+// Determinism is by construction, not by luck:
+//
+//   - Within a shard, the Engine's (time, sequence) order is already exact.
+//   - At a barrier, destinations drain sources in partition-index order and
+//     each source's messages in send order. The sequence numbers assigned to
+//     injected events therefore depend only on (window, source partition,
+//     send order) — quantities the partition→shard mapping cannot change.
+//   - Window boundaries derive from the global minimum next-event time,
+//     which is also mapping-independent.
+//
+// Consequently a fixed seed and fixed partition layout produce byte-
+// identical merged traces for ANY shard count, including shards=1 — the
+// equivalence the golden-fingerprint tests pin.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// xmsg is one staged cross-partition message.
+type xmsg struct {
+	at  Time
+	dst int32
+	fn  func(any)
+	arg any
+}
+
+// ShardedConfig sizes a sharded engine.
+type ShardedConfig struct {
+	// Partitions is the number of partition-local engines P (≥1).
+	Partitions int
+	// Shards is the worker count S; clamped to [1, Partitions]. Shards=1
+	// runs every partition on one engine through the same window loop.
+	Shards int
+	// Lookahead is the minimum declared delay of every cross-partition
+	// channel; Send panics on a smaller delay. Must be positive.
+	Lookahead Duration
+}
+
+// ShardedEngine coordinates P partition engines under conservative
+// time-window synchronization on S shards.
+type ShardedEngine struct {
+	engines   []*Engine // one per shard
+	partShard []int32   // partition → shard
+	outbox    [][]xmsg  // per source partition, staged this window
+	lookahead Duration
+	running   bool
+
+	windows uint64
+	crossed uint64
+}
+
+// NewShardedEngine builds the engine set and the partition→shard map
+// (round-robin; the mapping is behavior-invariant, see package comment).
+func NewShardedEngine(cfg ShardedConfig) *ShardedEngine {
+	if cfg.Partitions < 1 {
+		panic("sim: sharded engine needs at least one partition")
+	}
+	if cfg.Lookahead <= 0 {
+		panic("sim: sharded engine needs a positive lookahead")
+	}
+	s := cfg.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > cfg.Partitions {
+		s = cfg.Partitions
+	}
+	se := &ShardedEngine{lookahead: cfg.Lookahead}
+	se.engines = make([]*Engine, s)
+	for i := range se.engines {
+		se.engines[i] = NewEngine()
+	}
+	se.partShard = make([]int32, cfg.Partitions)
+	se.outbox = make([][]xmsg, cfg.Partitions)
+	for p := range se.partShard {
+		se.partShard[p] = int32(p % s)
+	}
+	return se
+}
+
+// Partitions returns the partition count P.
+func (se *ShardedEngine) Partitions() int { return len(se.partShard) }
+
+// Shards returns the shard (worker engine) count S.
+func (se *ShardedEngine) Shards() int { return len(se.engines) }
+
+// Lookahead returns the conservative synchronization window width.
+func (se *ShardedEngine) Lookahead() Duration { return se.lookahead }
+
+// Windows returns how many synchronization windows Run executed.
+func (se *ShardedEngine) Windows() uint64 { return se.windows }
+
+// CrossEvents returns how many cross-partition messages were exchanged.
+func (se *ShardedEngine) CrossEvents() uint64 { return se.crossed }
+
+// Engine returns the event engine hosting the given partition. Partitions
+// mapped to the same shard share one engine; all scheduling for a
+// partition's components goes through it.
+func (se *ShardedEngine) Engine(part int) *Engine {
+	return se.engines[se.partShard[part]]
+}
+
+// Steps returns the total event count across all shards.
+func (se *ShardedEngine) Steps() uint64 {
+	var n uint64
+	for _, e := range se.engines {
+		n += e.Steps()
+	}
+	return n
+}
+
+// PoolSlots returns the summed slot-arena size across all shards.
+func (se *ShardedEngine) PoolSlots() int {
+	n := 0
+	for _, e := range se.engines {
+		n += e.PoolSlots()
+	}
+	return n
+}
+
+// PoolFree returns the summed free-list length across all shards.
+func (se *ShardedEngine) PoolFree() int {
+	n := 0
+	for _, e := range se.engines {
+		n += e.PoolFree()
+	}
+	return n
+}
+
+// Cancellations returns the total timer cancellations across all shards.
+func (se *ShardedEngine) Cancellations() uint64 {
+	var n uint64
+	for _, e := range se.engines {
+		n += e.Cancellations()
+	}
+	return n
+}
+
+// HeapHighWater returns the deepest any shard's event heap ever got.
+func (se *ShardedEngine) HeapHighWater() int {
+	m := 0
+	for _, e := range se.engines {
+		if h := e.HeapHighWater(); h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// Send stages fn(arg) to run in partition dst at src-now + delay. It must
+// be called from partition src — either inside one of its events or before
+// Run starts — and the delay must be at least the declared lookahead: the
+// window protocol is only safe because no message can land inside the
+// window it was sent from. Same-partition sends schedule directly.
+func (se *ShardedEngine) Send(src, dst int, delay Duration, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: Send with nil callback")
+	}
+	if delay < se.lookahead {
+		panic(fmt.Sprintf("sim: cross-partition delay %v below declared lookahead %v", delay, se.lookahead))
+	}
+	eng := se.engines[se.partShard[src]]
+	if src == dst {
+		eng.AfterCall(delay, fn, arg)
+		return
+	}
+	se.outbox[src] = append(se.outbox[src], xmsg{at: eng.Now().Add(delay), dst: int32(dst), fn: fn, arg: arg})
+}
+
+// exchange injects every staged message into its destination engine, in
+// (destination, source partition, send order) — the mapping-invariant
+// order the package comment relies on.
+func (se *ShardedEngine) exchange() {
+	for dst := 0; dst < len(se.partShard); dst++ {
+		var dstEng *Engine
+		for src := range se.outbox {
+			for i := range se.outbox[src] {
+				m := &se.outbox[src][i]
+				if int(m.dst) != dst {
+					continue
+				}
+				if dstEng == nil {
+					dstEng = se.engines[se.partShard[dst]]
+				}
+				if m.at < dstEng.Now() {
+					panic(fmt.Sprintf("sim: cross-partition message at %v behind destination clock %v (lookahead violated)", m.at, dstEng.Now()))
+				}
+				dstEng.AtCall(m.at, m.fn, m.arg)
+				se.crossed++
+			}
+		}
+	}
+	for src := range se.outbox {
+		for i := range se.outbox[src] {
+			se.outbox[src][i].arg = nil // drop references; slice is reused
+			se.outbox[src][i].fn = nil
+		}
+		se.outbox[src] = se.outbox[src][:0]
+	}
+}
+
+// Run drives every partition to global quiescence: exchange staged
+// messages, compute the next conservative window, run it on all shards in
+// parallel, repeat until no events remain anywhere. With one shard the
+// loop runs inline — byte-identical behavior, no goroutines.
+func (se *ShardedEngine) Run() {
+	if se.running {
+		panic("sim: ShardedEngine.Run called reentrantly")
+	}
+	se.running = true
+	defer func() { se.running = false }()
+
+	nShards := len(se.engines)
+	var wg sync.WaitGroup
+	var windowCh []chan Time
+	if nShards > 1 {
+		windowCh = make([]chan Time, nShards)
+		for i := range windowCh {
+			windowCh[i] = make(chan Time, 1)
+			go func(e *Engine, ch chan Time) {
+				for limit := range ch {
+					e.runBefore(limit)
+					wg.Done()
+				}
+			}(se.engines[i], windowCh[i])
+		}
+		defer func() {
+			for _, ch := range windowCh {
+				close(ch)
+			}
+		}()
+	}
+
+	next := make([]Time, nShards)
+	for {
+		se.exchange()
+		T := Time(-1)
+		for i, e := range se.engines {
+			nt, ok := e.peekTime()
+			if !ok {
+				next[i] = -1
+				continue
+			}
+			next[i] = nt
+			if T < 0 || nt < T {
+				T = nt
+			}
+		}
+		if T < 0 {
+			break
+		}
+		limit := T.Add(se.lookahead)
+		se.windows++
+		if nShards == 1 {
+			se.engines[0].runBefore(limit)
+			continue
+		}
+		busy := 0
+		for i := range se.engines {
+			if next[i] >= 0 && next[i] < limit {
+				busy++
+			}
+		}
+		wg.Add(busy)
+		for i := range se.engines {
+			// Shards whose next event is at or beyond the barrier are not
+			// dispatched at all: an idle partition costs one comparison.
+			if next[i] >= 0 && next[i] < limit {
+				windowCh[i] <- limit
+			}
+		}
+		wg.Wait()
+	}
+	for _, e := range se.engines {
+		if e.PoolWatermark > 0 {
+			e.TrimPool(e.PoolWatermark)
+		}
+	}
+}

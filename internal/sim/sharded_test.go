@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shardedLog is a per-partition event log for determinism comparisons.
+// Each partition appends only from its own events, so logs are safe under
+// parallel windows and mapping-invariant by construction.
+type shardedLog struct {
+	lines [][]string
+}
+
+func (l *shardedLog) add(part int, at Time, what string) {
+	l.lines[part] = append(l.lines[part], fmt.Sprintf("%d@%v:%s", part, at, what))
+}
+
+// runPingPongMesh builds P partitions that bounce messages around a ring
+// with per-hop work events, runs it on the given shard count, and returns
+// the merged per-partition logs.
+func runPingPongMesh(t *testing.T, parts, shards int, rounds int) [][]string {
+	t.Helper()
+	la := 10 * Millisecond
+	se := NewShardedEngine(ShardedConfig{Partitions: parts, Shards: shards, Lookahead: la})
+	log := &shardedLog{lines: make([][]string, parts)}
+
+	var hop func(part int) func(any)
+	hops := make([]func(any), parts)
+	hop = func(part int) func(any) {
+		return func(arg any) {
+			n := arg.(int)
+			eng := se.Engine(part)
+			log.add(part, eng.Now(), fmt.Sprintf("hop%d", n))
+			// Local work inside the window.
+			eng.After(Millisecond, func() {
+				log.add(part, eng.Now(), "work")
+			})
+			if n >= rounds {
+				return
+			}
+			next := (part + 1) % parts
+			// One propagating hop plus two terminal sends (a longer-delay
+			// cross message and a direct same-partition send) so every hop
+			// stresses injection ordering without exponential fan-out.
+			se.Send(part, next, la, hops[next], n+1)
+			se.Send(part, (part+2)%parts, 3*la, hops[(part+2)%parts], rounds+1000)
+			se.Send(part, part, la, hops[part], rounds+1001)
+		}
+	}
+	for p := range hops {
+		hops[p] = hop(p)
+	}
+	// Kick off from every partition at staggered times.
+	for p := 0; p < parts; p++ {
+		se.Engine(p).AtCall(Time(p)*Time(Millisecond), hops[p], 0)
+	}
+	se.Run()
+	return log.lines
+}
+
+// TestShardedDeterminismAcrossShardCounts is the core guarantee: the same
+// partition layout produces identical per-partition event logs for every
+// shard count, including shards=1.
+func TestShardedDeterminismAcrossShardCounts(t *testing.T) {
+	want := runPingPongMesh(t, 5, 1, 40)
+	for _, shards := range []int{2, 3, 5} {
+		got := runPingPongMesh(t, 5, shards, 40)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shard count %d changed the event history", shards)
+		}
+	}
+	if len(want[0]) == 0 {
+		t.Fatal("mesh ran no events")
+	}
+}
+
+// TestShardedRunToRunDeterminism re-runs the same parallel configuration
+// and demands identical logs (no scheduling-order leakage from goroutines).
+func TestShardedRunToRunDeterminism(t *testing.T) {
+	a := runPingPongMesh(t, 4, 4, 60)
+	b := runPingPongMesh(t, 4, 4, 60)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical sharded runs diverged")
+	}
+}
+
+// TestShardedMatchesPlainEngine: one partition, one shard must behave
+// exactly like a plain Engine run of the same program.
+func TestShardedMatchesPlainEngine(t *testing.T) {
+	program := func(eng *Engine) []string {
+		var log []string
+		var tick func(any)
+		tick = func(arg any) {
+			n := arg.(int)
+			log = append(log, fmt.Sprintf("%v:%d", eng.Now(), n))
+			if n < 50 {
+				eng.AfterCall(Duration(n%7)*Millisecond, tick, n+1)
+				eng.After(500*Microsecond, func() { log = append(log, eng.Now().String()) })
+			}
+		}
+		eng.AtCall(0, tick, 0)
+		return log
+	}
+	plain := NewEngine()
+	wantLog := program(plain)
+	plain.Run()
+
+	se := NewShardedEngine(ShardedConfig{Partitions: 1, Shards: 1, Lookahead: 2 * Millisecond})
+	gotLog := program(se.Engine(0))
+	se.Run()
+
+	_ = wantLog
+	_ = gotLog
+	// The closures captured different slices; re-run to compare contents.
+	plain2 := NewEngine()
+	log2 := program(plain2)
+	plain2.Run()
+	if fmt.Sprint(log2) != fmt.Sprint(wantLog) {
+		t.Fatal("plain engine is not deterministic")
+	}
+	if fmt.Sprint(gotLog) != fmt.Sprint(wantLog) {
+		t.Fatalf("sharded(1,1) diverged from plain engine:\n got %v\nwant %v", gotLog, wantLog)
+	}
+	if plain.Steps() != se.Steps() {
+		t.Fatalf("step counts differ: plain %d sharded %d", plain.Steps(), se.Steps())
+	}
+}
+
+// TestShardedLookaheadViolation: declaring a cross-partition delay below
+// the lookahead must panic immediately.
+func TestShardedLookaheadViolation(t *testing.T) {
+	se := NewShardedEngine(ShardedConfig{Partitions: 2, Shards: 2, Lookahead: 10 * Millisecond})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized cross-partition delay did not panic")
+		}
+	}()
+	se.Send(0, 1, Millisecond, func(any) {}, nil)
+}
+
+// TestShardedQuiescentPartition: a partition with no events must not cost
+// windows; the busy partition drives the clock alone.
+func TestShardedQuiescentPartition(t *testing.T) {
+	se := NewShardedEngine(ShardedConfig{Partitions: 3, Shards: 3, Lookahead: Millisecond})
+	ran := 0
+	var tick func(any)
+	tick = func(any) {
+		ran++
+		if ran < 100 {
+			se.Engine(0).AfterCall(10*Millisecond, tick, nil)
+		}
+	}
+	se.Engine(0).AfterCall(0, tick, nil)
+	se.Run()
+	if ran != 100 {
+		t.Fatalf("ran %d events, want 100", ran)
+	}
+	// Sparse 10 ms spacing with 1 ms lookahead: one window per event, not
+	// one window per millisecond.
+	if se.Windows() > 110 {
+		t.Fatalf("%d windows for 100 sparse events — idle partitions are not fast-forwarding", se.Windows())
+	}
+	if se.CrossEvents() != 0 {
+		t.Fatalf("unexpected cross events: %d", se.CrossEvents())
+	}
+}
+
+// TestTrimPool: the arena must shrink back to the watermark after a burst,
+// stale Timer handles must stay inert across the trim, and the engine must
+// keep working after re-growth.
+func TestTrimPool(t *testing.T) {
+	eng := NewEngine()
+	var timers []Timer
+	for i := 0; i < 10000; i++ {
+		timers = append(timers, eng.After(Duration(i), func() {}))
+	}
+	eng.Run()
+	if got := eng.PoolSlots(); got < 10000 {
+		t.Fatalf("pool high water %d, want ≥ 10000", got)
+	}
+	if got := eng.TrimPool(64); got != 64 {
+		t.Fatalf("TrimPool returned %d, want 64", got)
+	}
+	if got, free := eng.PoolSlots(), eng.PoolFree(); got != 64 || free != 64 {
+		t.Fatalf("after trim: slots=%d free=%d, want 64/64", got, free)
+	}
+	// Every stale handle — below and above the watermark — must be inert.
+	for _, tm := range timers {
+		if tm.Pending() {
+			t.Fatal("fired timer reports Pending after trim")
+		}
+		if tm.Stop() {
+			t.Fatal("fired timer Stopped successfully after trim")
+		}
+	}
+	// Re-grow the pool past the watermark; old handles must not alias the
+	// fresh slots even though indices repeat.
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		eng.After(Duration(i), func() { fired++ })
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	eng.Run()
+	if fired != 1000 {
+		t.Fatalf("stale handles cancelled %d live events", 1000-fired)
+	}
+}
+
+// TestPoolWatermarkAutoTrim: Run trims automatically when the policy is
+// set, on both plain and sharded engines.
+func TestPoolWatermarkAutoTrim(t *testing.T) {
+	eng := NewEngine()
+	eng.PoolWatermark = 128
+	for i := 0; i < 5000; i++ {
+		eng.After(Duration(i), func() {})
+	}
+	eng.Run()
+	if got := eng.PoolSlots(); got != 128 {
+		t.Fatalf("auto-trim left %d slots, want 128", got)
+	}
+
+	se := NewShardedEngine(ShardedConfig{Partitions: 2, Shards: 2, Lookahead: Millisecond})
+	for p := 0; p < 2; p++ {
+		se.Engine(p).PoolWatermark = 32
+		for i := 0; i < 3000; i++ {
+			se.Engine(p).After(Duration(i)*Microsecond, func() {})
+		}
+	}
+	se.Run()
+	if got := se.PoolSlots(); got != 64 {
+		t.Fatalf("sharded auto-trim left %d slots, want 64", got)
+	}
+}
+
+// TestTrimPoolMidRunNoop: trimming with events still queued must refuse.
+func TestTrimPoolMidRunNoop(t *testing.T) {
+	eng := NewEngine()
+	eng.After(Second, func() {})
+	n := eng.PoolSlots()
+	if got := eng.TrimPool(0); got != n {
+		t.Fatalf("TrimPool shrank a non-quiescent pool to %d", got)
+	}
+}
