@@ -13,6 +13,7 @@ package rpgo_test
 import (
 	"testing"
 
+	"rpgo/internal/analytics"
 	"rpgo/internal/core"
 	"rpgo/internal/experiments"
 	"rpgo/internal/launch"
@@ -177,6 +178,27 @@ func benchImpeccable(b *testing.B, nodes int, backend spec.Backend) {
 	b.ReportMetric(res.CPUUtil*100, "cpu_util%")
 	b.ReportMetric(res.PeakConcurrency, "peak_concurrency")
 	b.ReportMetric(float64(res.Tasks), "tasks")
+}
+
+// BenchmarkFig8WithFailures runs the Fig 8 campaign under node churn
+// (per-node MTBF of one simulated day on 256 nodes: dozens of failures
+// across the ~6 h campaign) with the fault injector, eviction/relocation,
+// and blame attribution all in the measured path. Gated against
+// BENCH_PR9.json so the failure machinery stays cheap.
+func BenchmarkFig8WithFailures(b *testing.B) {
+	params := model.Default()
+	params.Fault = model.FaultParams{NodeMTBF: 86400, NodeDowntime: 600}
+	var res experiments.ImpeccableResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunImpeccable(experiments.ImpeccableConfig{
+			Nodes: 256, Backend: spec.BackendFlux, Seed: uint64(i + 1), Params: &params,
+		})
+	}
+	rep := analytics.BlameFromTraces(res.Traces)
+	b.ReportMetric(res.Makespan.Seconds(), "makespan_s")
+	b.ReportMetric(float64(res.Tasks), "tasks")
+	b.ReportMetric(float64(res.Failed), "failed")
+	b.ReportMetric(rep.Blame[analytics.BlameFailure].Seconds(), "failure_s")
 }
 
 // BenchmarkFig8ImpeccableFlux65536 runs the O(10k)-node regime the sharded

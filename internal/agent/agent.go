@@ -47,10 +47,17 @@ type Task struct {
 	// inference responses). Tasks with TD.Requests get a coupled body
 	// built by the agent.
 	body func(start sim.Time, done func())
-	// gen counts dispatch attempts; a coupled body captures it so that
-	// after a mid-run crash and retry, the orphaned old body stops
-	// instead of issuing phantom requests alongside the new attempt.
+	// gen counts dispatch attempts. Agent-built bodies capture it so that
+	// after a mid-run crash and retry the orphaned old body stops instead
+	// of issuing phantom requests alongside the new attempt — and forward
+	// wraps every request's done with the same guard, so even a custom
+	// body's stale timers are inert after relocation.
 	gen int
+	// ckptFrac is the fraction of the task's work persisted by its last
+	// completed checkpoint write; ckptSaved marks that a checkpoint image
+	// exists to restore from after relocation.
+	ckptFrac  float64
+	ckptSaved bool
 	// serviceRegistered marks tasks counted in servicesPending (set by
 	// submitService); serviceStarted dedupes noteServiceStart across
 	// retries. Together they keep the pending accounting balanced: only
@@ -103,6 +110,19 @@ type Agent struct {
 	// notifyDoneFn is the prebound notifyDone, shared by every finish.
 	notifyDoneFn func(any)
 
+	// retryStream seeds backoff jitter; it draws only when the failure-
+	// aware exponential backoff is configured with a jitter fraction, so
+	// the legacy constant-backoff path stays draw-free.
+	retryStream *rng.Stream
+	// slowFactor, when set by the fault injector, maps node ID to an
+	// execution-time stretch factor (≥ 1) applied to plain compute bodies
+	// placed on that node (straggler model).
+	slowFactor func(node int) float64
+	// elastic marks that a fault injector manages this pilot: a group
+	// whose instances are all down parks tasks until a restart instead of
+	// failing them (without an injector nothing would ever restart them).
+	elastic bool
+
 	// Counters.
 	nSubmitted  int
 	nFinal      int
@@ -151,6 +171,7 @@ func New(desc spec.PilotDescription, eng *sim.Engine, ctrl *slurm.Controller,
 		gInflight: reg.Gauge("agent.inflight_tasks"),
 	}
 	a.notifyDoneFn = a.notifyDone
+	a.retryStream = src.Stream("agent.retry")
 	// Stagers run multiple concurrent instances (stacked boxes in Fig 1).
 	stream := src.Stream("agent.stagers")
 	a.stagerIn = sim.NewServer(eng, 4, func(t *Task) sim.Duration {
@@ -438,6 +459,12 @@ func (a *Agent) route(t *Task) *executorGroup {
 // single-threaded serialization stage), or parks it until an instance is
 // ready.
 func (a *Agent) dispatch(g *executorGroup, t *Task) {
+	if a.draining {
+		// A retry backoff that resolves after Drain would re-enqueue into
+		// a drained queue and sit there forever.
+		a.finish(t, states.TaskFailed, "pilot is draining")
+		return
+	}
 	if !g.anyReady {
 		g.pending = append(g.pending, t)
 		return
@@ -484,6 +511,19 @@ func (a *Agent) forward(g *executorGroup, t *Task) {
 	a.nDispatches++
 	idx := a.pickLauncher(g, t)
 	if idx < 0 {
+		// Under fault injection, "no live instance" is transient: a
+		// crashed backend restarts after its downtime and flushes the
+		// group's pending list. Park the task unless it fits no partition
+		// at all (permanent). Without an injector nothing would restart
+		// an instance, so the legacy immediate-failure path stands.
+		if a.elastic && !a.draining {
+			for _, l := range g.launchers {
+				if t.TD.Nodes <= l.Nodes() {
+					g.pending = append(g.pending, t)
+					return
+				}
+			}
+		}
 		a.finish(t, states.TaskFailed, fmt.Sprintf("no live %s instance fits task %s", g.backend, t.TD.UID))
 		return
 	}
@@ -495,6 +535,16 @@ func (a *Agent) forward(g *executorGroup, t *Task) {
 	body := t.body
 	if body == nil && len(t.TD.Requests) > 0 {
 		body = a.coupledBody(t)
+	}
+	var placed []int
+	// Plain fixed-Duration bodies get a fault-aware compute body when a
+	// straggler model is installed or the task checkpoints: exec time
+	// stretches with the slowest placed node, and checkpoint writes /
+	// restores ride the data subsystem.
+	faulty := body == nil && !t.TD.Service &&
+		(a.slowFactor != nil || t.TD.Checkpointed())
+	if faulty {
+		body = a.computeBody(t, &placed)
 	}
 	rec := &dispatchRec{a: a, g: g, t: t, idx: idx}
 	rec.req = launch.Request{
@@ -508,10 +558,24 @@ func (a *Agent) forward(g *executorGroup, t *Task) {
 		// Late-bound: backends evaluate the preference at placement
 		// time, when the registry reflects every transfer completed (or
 		// started) while the task sat in the backend queue.
-		var placed []int
 		rec.req.Prefer = func() []int { return a.preferNodes(t.TD) }
 		rec.req.OnPlaced = func(at sim.Time, nodeIDs []int) { placed = nodeIDs }
 		rec.req.Body = a.dataBody(t, body, &placed)
+	} else if faulty {
+		rec.req.OnPlaced = func(at sim.Time, nodeIDs []int) { placed = nodeIDs }
+	}
+	if b := rec.req.Body; b != nil {
+		// Generation-guard the completion: after a mid-run crash and
+		// relocation, a stale body's timers must stay inert — they may
+		// still fire, but can no longer complete the task.
+		gen := t.gen
+		rec.req.Body = func(start sim.Time, done func()) {
+			b(start, func() {
+				if t.gen == gen {
+					done()
+				}
+			})
+		}
 	}
 	l.Submit(&rec.req)
 }
@@ -541,6 +605,21 @@ func (a *Agent) completed(g *executorGroup, t *Task, at sim.Time, failed bool, r
 		// coupled task must stop issuing inference requests during the
 		// retry backoff — and permanently if retries are exhausted.
 		t.gen++
+		// The dead attempt's run window is failure-handling time: from
+		// the later of this attempt's dispatch and its process start
+		// (a queue-killed attempt never started) to the failure.
+		from := t.Trace.Launch
+		if t.Trace.Start > from {
+			from = t.Trace.Start
+		}
+		if at > from {
+			t.Trace.AddEdge(profiler.CausalEdge{
+				Kind: profiler.EdgeFailure,
+				From: from,
+				To:   at,
+				Ref:  reason,
+			})
+		}
 		if t.attempts < t.TD.MaxRetries && !a.draining {
 			t.attempts++
 			a.nRetries++
@@ -553,7 +632,7 @@ func (a *Agent) completed(g *executorGroup, t *Task, at sim.Time, failed bool, r
 			}
 			a.prof.Log(at, t.TD.UID, "retry", reason)
 			failAt := at
-			a.eng.After(sim.Seconds(a.params.RP.RetryBackoff), func() {
+			a.eng.After(sim.Seconds(a.retryBackoff(t.attempts)), func() {
 				// The backoff just resolved: the re-dispatch is causally
 				// downstream of the failure.
 				t.Trace.AddEdge(profiler.CausalEdge{
@@ -566,6 +645,8 @@ func (a *Agent) completed(g *executorGroup, t *Task, at sim.Time, failed bool, r
 			})
 			return
 		}
+		// Retries exhausted (or draining): the terminal failure edge was
+		// recorded above; the task goes FAILED instead of retrying forever.
 		a.finish(t, states.TaskFailed, reason)
 		return
 	}

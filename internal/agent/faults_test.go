@@ -1,0 +1,283 @@
+package agent
+
+// Fault-path regression tests (PR 9): the orphaned-body hazard on mid-run
+// crash + retry, the failure-aware retry backoff, and the causal edges the
+// recovery path records.
+
+import (
+	"testing"
+
+	"rpgo/internal/model"
+	"rpgo/internal/platform"
+	"rpgo/internal/profiler"
+	"rpgo/internal/rng"
+	"rpgo/internal/sim"
+	"rpgo/internal/slurm"
+	"rpgo/internal/spec"
+	"rpgo/internal/states"
+)
+
+// newRigParams is newRig with explicit model params (backoff shape tests).
+func newRigParams(t *testing.T, pd spec.PilotDescription, params model.Params) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	src := rng.New(21)
+	ctrl := slurm.NewController(eng, params.Srun, src)
+	smt := pd.SMT
+	if smt == 0 {
+		smt = 1
+	}
+	cluster := platform.NewCluster(platform.Frontier(smt), pd.Nodes)
+	alloc := cluster.Allocate(pd.Nodes)
+	util := platform.NewUtilizationTracker(alloc.TotalCPU(), alloc.TotalGPU())
+	alloc.AttachUtilization(util)
+	prof := profiler.New()
+	a, err := New(pd, eng, ctrl, alloc, util, prof, src, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{eng: eng, agent: a, prof: prof, util: util, ctrl: ctrl}
+}
+
+func hasEdge(tr *profiler.TaskTrace, kind profiler.EdgeKind) bool {
+	for _, e := range tr.Edges {
+		if e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestOrphanedBodyInertAfterRelocation is the regression for the hazard
+// noted at the Task.body declaration: when a running task is evicted
+// mid-body (node failure) and relocated, the stale body's pending timers
+// must not complete — or checkpoint against — the new incarnation. The
+// generation tag bumps on eviction; every body callback and the wrapped
+// done are guarded on it.
+func TestOrphanedBodyInertAfterRelocation(t *testing.T) {
+	r := newRig(t, spec.PilotDescription{
+		Nodes:      2,
+		Partitions: []spec.PartitionConfig{{Backend: spec.BackendFlux, Instances: 1}},
+	})
+	tk := r.task(&spec.TaskDescription{
+		CoresPerRank: 1, Ranks: 1,
+		Duration:           100 * sim.Second,
+		MaxRetries:         3,
+		CheckpointInterval: 20 * sim.Second,
+		CheckpointBytes:    1 << 20,
+	}, "ck")
+	doneCount := 0
+	var final *Task
+	r.agent.Submit(tk, func(tt *Task) { doneCount++; final = tt })
+
+	// Mid-body, past at least one durable checkpoint. The stale body now
+	// has a pending segment timer.
+	r.eng.RunUntil(sim.Time(45 * sim.Second))
+	if tk.State != states.TaskRunning {
+		t.Fatalf("task not running at eviction time: %v", tk.State)
+	}
+	if !tk.ckptSaved {
+		t.Fatal("no checkpoint persisted before the failure")
+	}
+	victims := r.agent.FailNode(0, "node 0 failed")
+	if victims == 0 {
+		victims = r.agent.FailNode(1, "node 1 failed")
+	}
+	if victims != 1 {
+		t.Fatalf("evicted %d tasks, want 1", victims)
+	}
+
+	r.eng.Run()
+	// Exactly one completion: a live stale timer would either complete the
+	// task early (doneCount stays 1 but End lands before the remaining
+	// work) or double-complete it.
+	if doneCount != 1 {
+		t.Fatalf("task completed %d times, want 1", doneCount)
+	}
+	if final == nil || final.State != states.TaskDone {
+		t.Fatalf("final: %+v", final)
+	}
+	if tk.Trace.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", tk.Trace.Retries)
+	}
+	// The relocated run restores the checkpoint and resumes from the saved
+	// fraction: it still has >= one full segment of compute left, so End
+	// must land well after the eviction.
+	if tk.Trace.End < sim.Time(65*sim.Second) {
+		t.Fatalf("task ended at %v — stale body completed the new incarnation early", tk.Trace.End)
+	}
+	if !hasEdge(tk.Trace, profiler.EdgeFailure) {
+		t.Fatal("eviction recorded no failure edge")
+	}
+	if !hasEdge(tk.Trace, profiler.EdgeRetry) {
+		t.Fatal("relocation recorded no retry edge")
+	}
+	if !hasEdge(tk.Trace, profiler.EdgeCheckpoint) {
+		t.Fatal("checkpoint traffic recorded no checkpoint edge")
+	}
+}
+
+// TestRetryBackoffExponential: with a factor configured the backoff grows
+// geometrically per attempt and saturates at the cap.
+func TestRetryBackoffExponential(t *testing.T) {
+	params := model.Default()
+	params.RP.RetryBackoff = 1.0
+	params.RP.RetryBackoffFactor = 2.0
+	params.RP.RetryBackoffMax = 10
+	r := newRigParams(t, spec.PilotDescription{Nodes: 1}, params)
+	want := []float64{1, 2, 4, 8, 10, 10}
+	for i, w := range want {
+		if got := r.agent.retryBackoff(i + 1); got != w {
+			t.Fatalf("retryBackoff(attempt=%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestRetryBackoffLegacyConstant pins the pre-PR9 behavior: factor unset
+// means every attempt waits exactly RetryBackoff and the path draws no
+// randomness (jitter config is ignored), so legacy goldens cannot drift.
+func TestRetryBackoffLegacyConstant(t *testing.T) {
+	params := model.Default()
+	params.RP.RetryBackoff = 1.5
+	params.RP.RetryJitterFrac = 0.5 // must be ignored without a factor
+	r := newRigParams(t, spec.PilotDescription{Nodes: 1}, params)
+	for attempt := 1; attempt <= 8; attempt++ {
+		if got := r.agent.retryBackoff(attempt); got != 1.5 {
+			t.Fatalf("legacy retryBackoff(attempt=%d) = %v, want constant 1.5", attempt, got)
+		}
+	}
+}
+
+// TestRetryBackoffJitterDeterministic: jittered backoff stays within its
+// bounds and replays identically for a fixed seed.
+func TestRetryBackoffJitterDeterministic(t *testing.T) {
+	params := model.Default()
+	params.RP.RetryBackoff = 2.0
+	params.RP.RetryBackoffFactor = 2.0
+	params.RP.RetryJitterFrac = 0.25
+	pd := spec.PilotDescription{Nodes: 1}
+	a := newRigParams(t, pd, params).agent
+	b := newRigParams(t, pd, params).agent
+	for attempt := 1; attempt <= 6; attempt++ {
+		base := 2.0
+		for i := 1; i < attempt; i++ {
+			base *= 2
+		}
+		va := a.retryBackoff(attempt)
+		if vb := b.retryBackoff(attempt); vb != va {
+			t.Fatalf("jittered backoff not deterministic: %v vs %v", va, vb)
+		}
+		if va < base*0.75 || va > base*1.25 {
+			t.Fatalf("jittered backoff %v outside [%v, %v]", va, base*0.75, base*1.25)
+		}
+	}
+}
+
+// TestTerminalFailureEdge: a task that exhausts its retries carries a
+// terminal failure edge so the blame decomposition can attribute its
+// unfinished tail.
+func TestTerminalFailureEdge(t *testing.T) {
+	r := newRig(t, spec.PilotDescription{
+		Nodes:      2,
+		Partitions: []spec.PartitionConfig{{Backend: spec.BackendDragon, Instances: 1}},
+	})
+	tk := r.task(&spec.TaskDescription{
+		Kind: spec.Function, CoresPerRank: 1, Ranks: 1,
+		Duration: 1000 * sim.Second, MaxRetries: 2,
+	}, "doomed")
+	var final *Task
+	r.agent.Submit(tk, func(tt *Task) { final = tt })
+	r.eng.RunUntil(sim.Time(30 * sim.Second))
+	for _, l := range r.agent.Launchers() {
+		l.(interface{ Crash(string) }).Crash("dead")
+	}
+	r.eng.Run()
+	if final == nil || final.State != states.TaskFailed {
+		t.Fatalf("task should fail terminally: %+v", final)
+	}
+	if !hasEdge(tk.Trace, profiler.EdgeFailure) {
+		t.Fatal("terminal failure recorded no failure edge")
+	}
+}
+
+// TestFailNodeEvictsAndRelocates: a node failure evicts exactly the tasks
+// whose placement touches the node, drops its cached replicas, and the
+// victims finish on surviving capacity.
+func TestFailNodeEvictsAndRelocates(t *testing.T) {
+	r := newRig(t, spec.PilotDescription{
+		Nodes:      2,
+		Partitions: []spec.PartitionConfig{{Backend: spec.BackendFlux, Instances: 1}},
+	})
+	done := 0
+	n := 4
+	var tasks []*Task
+	for i := 0; i < n; i++ {
+		// Node-wide tasks: two run (one per node), two queue behind them.
+		tk := r.task(&spec.TaskDescription{
+			CoresPerRank: 1, Ranks: 56, Duration: 60 * sim.Second, MaxRetries: 3,
+		}, "w"+string(rune('a'+i)))
+		tasks = append(tasks, tk)
+		r.agent.Submit(tk, func(tt *Task) {
+			if tt.State == states.TaskDone {
+				done++
+			}
+		})
+	}
+	r.eng.RunUntil(sim.Time(30 * sim.Second))
+	if victims := r.agent.FailNode(1, "node 1 failed"); victims != 1 {
+		t.Fatalf("evicted %d tasks, want exactly the one on node 1", victims)
+	}
+	r.eng.Run()
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+	retried := 0
+	for _, tk := range tasks {
+		retried += tk.Trace.Retries
+	}
+	if retried == 0 {
+		t.Fatal("expected the evicted task to retry")
+	}
+}
+
+// TestCrashRestartInstance: the injector-facing crash/restart hooks kill a
+// live instance, the agent fails work over, and the restarted instance
+// comes back ready and usable.
+func TestCrashRestartInstance(t *testing.T) {
+	r := newRig(t, spec.PilotDescription{
+		Nodes:      4,
+		Partitions: []spec.PartitionConfig{{Backend: spec.BackendFlux, Instances: 2}},
+	})
+	done := 0
+	for i := 0; i < 20; i++ {
+		tk := r.task(&spec.TaskDescription{
+			CoresPerRank: 1, Ranks: 1, Duration: 120 * sim.Second, MaxRetries: 3,
+		}, "c"+string(rune('a'+i)))
+		r.agent.Submit(tk, func(tt *Task) {
+			if tt.State == states.TaskDone {
+				done++
+			}
+		})
+	}
+	r.eng.RunUntil(sim.Time(30 * sim.Second))
+	if n := r.agent.NumInstances(); n != 2 {
+		t.Fatalf("NumInstances = %d, want 2", n)
+	}
+	if !r.agent.CrashInstance(0, "injected crash") {
+		t.Fatal("CrashInstance(0) refused")
+	}
+	if r.agent.CrashInstance(0, "again") {
+		t.Fatal("crashing a dead instance should refuse")
+	}
+	r.eng.RunUntil(sim.Time(60 * sim.Second))
+	if !r.agent.RestartInstance(0) {
+		t.Fatal("RestartInstance(0) refused")
+	}
+	if r.agent.RestartInstance(0) {
+		t.Fatal("restarting a restarting instance should refuse")
+	}
+	r.eng.Run()
+	if done != 20 {
+		t.Fatalf("done = %d, want 20", done)
+	}
+}

@@ -106,11 +106,20 @@ func (sm *ServiceManager) replicaLauncher(sd spec.ServiceDescription) service.La
 			TD:    td,
 			State: states.TaskTMGRSchedule,
 			Trace: tr,
-			body: func(start sim.Time, done func()) {
-				// Weight loading and warmup precede serving; the body
-				// then idles until the endpoint calls stop (= done).
-				a.eng.After(sd.StartupDelay, func() { cb.Up(done) })
-			},
+		}
+		t.body = func(start sim.Time, done func()) {
+			// Weight loading and warmup precede serving; the body then
+			// idles until the endpoint calls stop (= done). The warmup
+			// timer is generation-guarded: if the replica crashes and is
+			// relocated mid-startup, the orphaned attempt must not report
+			// a phantom Up alongside the new one.
+			gen := t.gen
+			a.eng.After(sd.StartupDelay, func() {
+				if t.gen != gen {
+					return
+				}
+				cb.Up(done)
+			})
 		}
 		a.Submit(t, func(ft *Task) { cb.Down(ft.Trace.Failed, ft.Reason) })
 	}

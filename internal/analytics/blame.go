@@ -33,9 +33,16 @@ const (
 	BlameData
 	// BlameService is time a task body blocked on inference responses.
 	BlameService
+	// BlameFailure is failure-handling overhead: dead attempts' run time
+	// lost to a crash or node loss, retry backoffs, and terminal failure
+	// windows (EdgeFailure / EdgeRetry).
+	BlameFailure
+	// BlameCheckpoint is time a task body blocked on checkpoint traffic:
+	// periodic checkpoint writes and post-relocation restore stage-ins.
+	BlameCheckpoint
 	// BlameMiddleware is everything else: client pipe, scheduler hops,
-	// executor serialization, retry backoffs, spawn latency, teardown, and
-	// inter-task gaps on the critical chain.
+	// executor serialization, spawn latency, teardown, and inter-task
+	// gaps on the critical chain.
 	BlameMiddleware
 
 	// NumBlame is the category count (array sizing).
@@ -48,6 +55,8 @@ var blameNames = [NumBlame]string{
 	BlameStarve:     "starve",
 	BlameData:       "data",
 	BlameService:    "service",
+	BlameFailure:    "failure",
+	BlameCheckpoint: "checkpoint",
 	BlameMiddleware: "middleware",
 }
 
@@ -205,21 +214,25 @@ func Summarize(t *profiler.TaskTrace) TaskSummary {
 
 	// scheduled → launch: executor hand-off — and, for retried tasks, every
 	// earlier attempt (their queue waits, run time and backoffs live here
-	// because Launch is re-stamped per dispatch). Queue/starve edges of
-	// earlier attempts keep their categories; backoffs and the dead
-	// attempts' run time are failure-handling overhead → middleware.
-	starved := clipKinds(scratch[:0], t.Edges, s1, s2, profiler.EdgeStarved)
-	dStarve := coverage(starved)
-	both := clipKinds(starved, t.Edges, s1, s2, profiler.EdgeQueued)
+	// because Launch is re-stamped per dispatch). Failure-handling overhead
+	// (dead attempts' run windows and retry backoffs) shadows everything;
+	// queue/starve edges of earlier attempts keep their categories where
+	// they don't overlap it.
+	fail := clipKinds(scratch[:0], t.Edges, s1, s2, profiler.EdgeFailure, profiler.EdgeRetry)
+	dFail := coverage(fail)
+	withStarve := clipKinds(fail, t.Edges, s1, s2, profiler.EdgeStarved)
+	dStarve := coverage(withStarve)
+	both := clipKinds(withStarve, t.Edges, s1, s2, profiler.EdgeQueued)
 	dBoth := coverage(both)
-	s.Blame[BlameStarve] += dStarve
+	s.Blame[BlameFailure] += dFail
+	s.Blame[BlameStarve] += dStarve - dFail
 	s.Blame[BlameQueue] += dBoth - dStarve
 	s.Blame[BlameMiddleware] += s2.Sub(s1) - dBoth
 
 	// launch → start: the backend queue and process spawn. Starvation
 	// shadows plain queueing where both cover; the residual (RPC, spawn
 	// latency) is middleware.
-	starved = clipKinds(scratch[:0], t.Edges, s2, s3, profiler.EdgeStarved)
+	starved := clipKinds(scratch[:0], t.Edges, s2, s3, profiler.EdgeStarved)
 	dStarve = coverage(starved)
 	both = clipKinds(starved, t.Edges, s2, s3, profiler.EdgeQueued)
 	dBoth = coverage(both)
@@ -228,8 +241,9 @@ func Summarize(t *profiler.TaskTrace) TaskSummary {
 	s.Blame[BlameMiddleware] += s3.Sub(s2) - dBoth
 
 	// start → end: the task body. Stage-in edges and the output write-back
-	// tail are data; service blocks (minus any data overlap) are service;
-	// what remains is real execution.
+	// tail are data; checkpoint traffic (minus any data overlap) is
+	// checkpoint; service blocks (minus both) are service; what remains is
+	// real execution.
 	dataIv := clipKinds(scratch[:0], t.Edges, s3, s4, profiler.EdgeStage, profiler.EdgeTransfer)
 	if t.StageOut > 0 {
 		lo := s4.Add(-t.StageOut)
@@ -241,14 +255,22 @@ func Summarize(t *profiler.TaskTrace) TaskSummary {
 		}
 	}
 	dData := coverage(dataIv)
-	both = clipKinds(dataIv, t.Edges, s3, s4, profiler.EdgeService)
+	withCkpt := clipKinds(dataIv, t.Edges, s3, s4, profiler.EdgeCheckpoint)
+	dCkpt := coverage(withCkpt)
+	both = clipKinds(withCkpt, t.Edges, s3, s4, profiler.EdgeService)
 	dBoth = coverage(both)
 	s.Blame[BlameData] += dData
-	s.Blame[BlameService] += dBoth - dData
+	s.Blame[BlameCheckpoint] += dCkpt - dData
+	s.Blame[BlameService] += dBoth - dCkpt
 	s.Blame[BlameExec] += s4.Sub(s3) - dBoth
 
-	// end → final: stage-out through the legacy stager and state teardown.
-	s.Blame[BlameMiddleware] += s5.Sub(s4)
+	// end → final: stage-out through the legacy stager and state teardown —
+	// except the terminal failure window of a task that exhausted its
+	// retries, which lands here because its last attempt never stamped End.
+	fail = clipKinds(scratch[:0], t.Edges, s4, s5, profiler.EdgeFailure)
+	dFail = coverage(fail)
+	s.Blame[BlameFailure] += dFail
+	s.Blame[BlameMiddleware] += s5.Sub(s4) - dFail
 
 	// Residual from Final beyond the milestone chain (never happens with
 	// monotone stamps, but keep the invariant airtight).

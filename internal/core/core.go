@@ -12,6 +12,7 @@ import (
 
 	"rpgo/internal/agent"
 	"rpgo/internal/analytics"
+	"rpgo/internal/fault"
 	"rpgo/internal/launch"
 	"rpgo/internal/model"
 	"rpgo/internal/obs"
@@ -104,6 +105,9 @@ type Pilot struct {
 	Alloc   *platform.Allocation
 	Util    *platform.UtilizationTracker
 	Agent   *agent.Agent
+	// Faults is the pilot's failure injector, non-nil only when
+	// Params.Fault is enabled; its schedule is pre-drawn at submit.
+	Faults *fault.Injector
 
 	sess *Session
 	// domain is the simulation partition hosting this pilot (0 in plain
@@ -158,6 +162,12 @@ func (s *Session) SubmitPilot(pd spec.PilotDescription) (*Pilot, error) {
 		return nil, err
 	}
 	p.Agent = ag
+	if s.Params.Fault.Enabled() {
+		// The injector draws only from its own named streams, so sessions
+		// without faults (this branch never taken) are bit-identical to
+		// builds without the fault package at all.
+		p.Faults = fault.New(s.Engine, cluster, ag, s.Profiler, s.src, s.Params.Fault)
+	}
 	ag.Ready(func() {
 		states.ValidatePilot(p.State, states.PilotActive)
 		p.State = states.PilotActive
@@ -415,7 +425,21 @@ func (s *Session) MetricsSnapshot() *obs.Snapshot {
 	queueHigh := 0
 	var served, failed uint64
 	scaleEvents := 0
+	var fstats fault.Stats
+	downNodes := 0
+	faulted := false
 	for _, p := range s.pilots {
+		if inj := p.Faults; inj != nil {
+			faulted = true
+			st := inj.Stats()
+			fstats.NodeFailures += st.NodeFailures
+			fstats.NodeRestores += st.NodeRestores
+			fstats.BackendCrashes += st.BackendCrashes
+			fstats.BackendRestarts += st.BackendRestarts
+			fstats.Victims += st.Victims
+			fstats.StragglerNodes += st.StragglerNodes
+			downNodes += inj.DownNodes()
+		}
 		ag := p.Agent
 		if ag == nil {
 			continue
@@ -458,6 +482,15 @@ func (s *Session) MetricsSnapshot() *obs.Snapshot {
 	snap.Put("service.served", float64(served))
 	snap.Put("service.failed", float64(failed))
 	snap.Put("service.scale_events", float64(scaleEvents))
+	if faulted {
+		snap.Put("fault.node_failures", float64(fstats.NodeFailures))
+		snap.Put("fault.node_restores", float64(fstats.NodeRestores))
+		snap.Put("fault.backend_crashes", float64(fstats.BackendCrashes))
+		snap.Put("fault.backend_restarts", float64(fstats.BackendRestarts))
+		snap.Put("fault.victims", float64(fstats.Victims))
+		snap.Put("fault.straggler_nodes", float64(fstats.StragglerNodes))
+		snap.Put("fault.down_nodes", float64(downNodes))
+	}
 
 	// Blame summary (retained-trace sessions only; streaming sinks own the
 	// records and report through their own Blame sink instead).

@@ -483,6 +483,21 @@ func (r *Registry) Evict(dataset string, node int) {
 	}
 }
 
+// EvictNode drops every replica the node holds (the node failed; its local
+// storage went with it). Returns the number of replicas dropped. Map
+// iteration order is irrelevant: only deletions happen, so the resulting
+// state is deterministic.
+func (r *Registry) EvictNode(node int) int {
+	n := 0
+	for _, e := range r.entries {
+		if e.nodes[node] {
+			delete(e.nodes, node)
+			n++
+		}
+	}
+	return n
+}
+
 // HasNode reports whether the node holds a replica of the dataset.
 func (r *Registry) HasNode(dataset string, node int) bool {
 	e, ok := r.entries[dataset]

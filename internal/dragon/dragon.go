@@ -269,6 +269,51 @@ func (d *Runtime) Crash(reason string) {
 	}
 }
 
+// Restart recovers a crashed runtime: it re-bootstraps from scratch —
+// paying the srun step and bootstrap latency again — and, once up, fires
+// any Ready callbacks registered meanwhile and resumes dispatch. No-op
+// unless crashed (a bootstrap-timeout failure is permanent).
+func (d *Runtime) Restart() bool {
+	if !d.crashed || d.failed {
+		return false
+	}
+	d.crashed = false
+	d.ready = false
+	d.t0 = d.eng.Now()
+	d.boot(false)
+	return true
+}
+
+// FailNode implements launch.NodeFailer: kills every running task whose
+// placement includes the node, releasing slots and failing requests so the
+// agent relocates them. Tasks still in the dispatcher or spawn window are
+// not tracked as running and survive. Returns the number of victims.
+func (d *Runtime) FailNode(node int, reason string) int {
+	now := d.eng.Now()
+	victims := 0
+	for i := 0; i < len(d.running); {
+		dp := d.running[i]
+		if !dp.pl.Includes(node) {
+			i++
+			continue
+		}
+		// removeRunning swap-moves the tail into slot i; re-examine it.
+		d.removeRunning(dp)
+		if d.util != nil {
+			d.util.Remove(now, dp.pl.TotalCPU(), dp.pl.TotalGPU())
+		}
+		d.plc.Partition().Release(now, dp.pl)
+		d.fail(dp.r, reason)
+		victims++
+	}
+	d.pump()
+	return victims
+}
+
+// Kick implements launch.NodeFailer: re-runs placement after external
+// capacity changes (a restored node).
+func (d *Runtime) Kick() { d.pump() }
+
 // Shutdown releases the runtime's srun slot; queued tasks are drained.
 func (d *Runtime) Shutdown() {
 	d.Drain("dragon runtime shutdown")

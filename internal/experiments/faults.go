@@ -1,0 +1,194 @@
+package experiments
+
+// The failure-sweep experiment: makespan (and failure accounting) as a
+// function of node MTBF, comparing data-aware and pack placement under
+// churn. Each cell runs a checkpointed training fan-out on a pilot whose
+// fault injector draws node failures at the cell's MTBF: victims relocate
+// through the shared placer, restore their last checkpoint, and resume —
+// so the cost of a failure is eviction + backoff + restore + lost segment,
+// all visible in the blame decomposition's failure/checkpoint buckets.
+
+import (
+	"fmt"
+
+	"rpgo/internal/analytics"
+	"rpgo/internal/core"
+	"rpgo/internal/metrics"
+	"rpgo/internal/model"
+	"rpgo/internal/sim"
+	"rpgo/internal/spec"
+	"rpgo/internal/workload"
+)
+
+// FailureSweepConfig parameterizes RunFailureSweep.
+type FailureSweepConfig struct {
+	Nodes int
+	// MTBFs is the per-node mean-time-between-failures grid (seconds).
+	MTBFs []float64
+	// NodeDowntime is how long a failed node stays down (seconds); <= 0
+	// makes failures permanent (the pilot only shrinks).
+	NodeDowntime float64
+	// StragglerFrac/StragglerFactor optionally add slow nodes.
+	StragglerFrac   float64
+	StragglerFactor float64
+	// BackendMTBF/BackendDowntime optionally add backend crash/restart
+	// churn on top of the node failures.
+	BackendMTBF     float64
+	BackendDowntime float64
+	// Workload shape: Shards datasets × TasksPerShard single-core tasks of
+	// TaskSeconds compute, each staging its ShardBytes shard node-local.
+	Shards        int
+	TasksPerShard int
+	ShardBytes    int64
+	TaskSeconds   float64
+	// CheckpointSeconds/CheckpointBytes enable checkpoint/restart on every
+	// task (0 disables; failures then recompute from zero).
+	CheckpointSeconds float64
+	CheckpointBytes   int64
+	// MaxRetries caps per-task relocations before a terminal FAILED.
+	MaxRetries int
+	// Horizon bounds the injected failure schedule (seconds); zero uses
+	// the model default (24 h). A tight horizon keeps the Stats counters
+	// focused on the workload window instead of the idle tail.
+	Horizon float64
+	Seed    uint64
+	Params  *model.Params
+}
+
+func (c *FailureSweepConfig) defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if len(c.MTBFs) == 0 {
+		c.MTBFs = []float64{300, 1200, 7200}
+	}
+	if c.NodeDowntime == 0 {
+		c.NodeDowntime = 60
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.TasksPerShard == 0 {
+		c.TasksPerShard = 8
+	}
+	if c.ShardBytes == 0 {
+		c.ShardBytes = 1 << 28
+	}
+	if c.TaskSeconds == 0 {
+		c.TaskSeconds = 60
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 8009
+	}
+}
+
+// FailureCell is one (MTBF, placement policy) grid point.
+type FailureCell struct {
+	MTBF   float64
+	Policy spec.PlacementPolicy
+
+	Makespan sim.Duration
+	Done     int
+	Failed   int
+	Retries  int
+
+	NodeFailures int
+	Victims      int
+
+	// BlameFailure/BlameCheckpoint are the sweep's headline decomposition:
+	// cumulative failure-handling and checkpoint-traffic time across tasks.
+	BlameFailure    sim.Duration
+	BlameCheckpoint sim.Duration
+	// BytesMoved is total data traffic (staging + checkpoints).
+	BytesMoved int64
+}
+
+// FailureSweepResult is the full grid, MTBF-major then policy.
+type FailureSweepResult struct {
+	Config FailureSweepConfig
+	Cells  []FailureCell
+}
+
+// RunFailureSweep runs the makespan-vs-MTBF grid for pack and data-aware
+// placement. Cells run in parallel (each is its own seeded session) and
+// results are slot-ordered, so the output is deterministic.
+func RunFailureSweep(cfg FailureSweepConfig) FailureSweepResult {
+	cfg.defaults()
+	policies := []spec.PlacementPolicy{spec.PlacePack, spec.PlaceDataAware}
+	res := FailureSweepResult{Config: cfg}
+	res.Cells = make([]FailureCell, len(cfg.MTBFs)*len(policies))
+	RunCells(len(res.Cells), func(i int) {
+		mtbf := cfg.MTBFs[i/len(policies)]
+		pol := policies[i%len(policies)]
+		res.Cells[i] = runFailureCell(cfg, mtbf, pol)
+	})
+	return res
+}
+
+// runFailureCell runs one seeded session under the cell's failure rate.
+// The seed is shared across the whole grid: every cell faces the same
+// workload and, per MTBF, the same failure schedule — the policy axis
+// isolates placement.
+func runFailureCell(cfg FailureSweepConfig, mtbf float64, pol spec.PlacementPolicy) FailureCell {
+	params := model.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	params.Fault = model.FaultParams{
+		NodeMTBF:        mtbf,
+		NodeDowntime:    cfg.NodeDowntime,
+		BackendMTBF:     cfg.BackendMTBF,
+		BackendDowntime: cfg.BackendDowntime,
+		StragglerFrac:   cfg.StragglerFrac,
+		StragglerFactor: cfg.StragglerFactor,
+		Horizon:         cfg.Horizon,
+	}
+	tasks := workload.TrainingFanout(cfg.Shards, cfg.TasksPerShard, cfg.ShardBytes,
+		sim.Seconds(cfg.TaskSeconds))
+	for _, td := range tasks {
+		td.MaxRetries = cfg.MaxRetries
+		if cfg.CheckpointSeconds > 0 && cfg.CheckpointBytes > 0 {
+			td.CheckpointInterval = sim.Seconds(cfg.CheckpointSeconds)
+			td.CheckpointBytes = cfg.CheckpointBytes
+			td.CheckpointDest = spec.TierSharedFS
+		}
+	}
+	sess := core.NewSession(core.Config{Seed: cfg.Seed, Params: &params})
+	pilot, err := sess.SubmitPilot(spec.PilotDescription{
+		Nodes:      cfg.Nodes,
+		SMT:        1,
+		Partitions: FluxPartitions(1),
+		Placement:  pol,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: failure sweep: %v", err))
+	}
+	tm := sess.TaskManager(pilot)
+	tm.Submit(tasks)
+	if err := tm.Wait(); err != nil {
+		panic(fmt.Sprintf("experiments: failure sweep: %v", err))
+	}
+
+	cell := FailureCell{MTBF: mtbf, Policy: pol}
+	traces := sess.Profiler.Tasks()
+	cell.Makespan = metrics.Makespan(traces)
+	for _, tr := range traces {
+		if tr.Failed {
+			cell.Failed++
+		} else {
+			cell.Done++
+		}
+		cell.Retries += tr.Retries
+	}
+	rep := analytics.BlameFromTraces(traces)
+	cell.BlameFailure = rep.Blame[analytics.BlameFailure]
+	cell.BlameCheckpoint = rep.Blame[analytics.BlameCheckpoint]
+	cell.BytesMoved = pilot.Agent.Data().BytesMoved()
+	st := pilot.Faults.Stats()
+	cell.NodeFailures = st.NodeFailures
+	cell.Victims = st.Victims
+	return cell
+}

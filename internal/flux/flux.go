@@ -253,6 +253,52 @@ func (in *Instance) Crash(reason string) {
 // Crashed reports whether the instance has failed.
 func (in *Instance) Crashed() bool { return in.crashed }
 
+// Restart recovers a crashed instance: the broker re-bootstraps from
+// scratch — paying the srun step and bootstrap latency again — and, once
+// ready, fires any Ready callbacks registered meanwhile and resumes
+// scheduling. No-op unless crashed.
+func (in *Instance) Restart() bool {
+	if !in.crashed {
+		return false
+	}
+	in.crashed = false
+	in.ready = false
+	in.t0 = in.eng.Now()
+	in.start(in.ctrl == nil)
+	return true
+}
+
+// FailNode implements launch.NodeFailer: kills every running job whose
+// placement includes the node, releasing slots and failing requests so the
+// agent relocates them. Jobs still inside the shell-spawn window are not
+// tracked as running and survive (the shell was already forked). Returns
+// the number of victims.
+func (in *Instance) FailNode(node int, reason string) int {
+	now := in.eng.Now()
+	victims := 0
+	for i := 0; i < len(in.running); {
+		j := in.running[i]
+		if !j.pl.Includes(node) {
+			i++
+			continue
+		}
+		// removeRunning swap-moves the tail into slot i; re-examine it.
+		in.removeRunning(j)
+		if in.util != nil {
+			in.util.Remove(now, j.pl.TotalCPU(), j.pl.TotalGPU())
+		}
+		in.plc.Partition().Release(now, j.pl)
+		in.fail(j.r, reason)
+		victims++
+	}
+	in.kick()
+	return victims
+}
+
+// Kick implements launch.NodeFailer: re-runs the scheduler after external
+// capacity changes (a restored node).
+func (in *Instance) Kick() { in.kick() }
+
 // Shutdown releases the instance's srun slot; queued jobs are drained.
 func (in *Instance) Shutdown() {
 	in.Drain("flux instance shutdown")

@@ -209,6 +209,17 @@ type Launcher interface {
 	Stats() Stats
 }
 
+// NodeFailer is implemented by launchers that can evict running work from
+// a failed node. FailNode kills every running job whose placement touches
+// the node — releasing its slots and failing its request so the agent's
+// retry path relocates the task — and returns the victim count. Kick pokes
+// the backend's scheduling loop after external capacity changes (a restored
+// node), since backends otherwise only reschedule on completions.
+type NodeFailer interface {
+	FailNode(node int, reason string) int
+	Kick()
+}
+
 // Queue is a FIFO of launch requests backed by a growable ring buffer. It
 // is the one request queue shared by all four backends: PopAt removes from
 // any position (the placer's affinity and backfill passes select past the

@@ -187,7 +187,20 @@ type RPParams struct {
 	// StagePerFile is the staging cost per input/output file.
 	StagePerFile float64
 	// RetryBackoff delays executor-level resubmission after a failure.
+	// With RetryBackoffFactor unset this constant delay applies to every
+	// attempt (the legacy behaviour, pinned by golden tests).
 	RetryBackoff float64
+	// RetryBackoffFactor, when > 1, turns the backoff exponential:
+	// attempt k waits RetryBackoff * Factor^(k-1), capped at
+	// RetryBackoffMax (when > 0). Zero keeps the legacy constant backoff
+	// and draws nothing from the RNG.
+	RetryBackoffFactor float64
+	// RetryBackoffMax caps the exponential backoff (seconds; 0 = no cap).
+	RetryBackoffMax float64
+	// RetryJitterFrac adds seeded uniform jitter of ±frac to each backoff
+	// draw (decorrelates retry storms after a node loss). Zero draws
+	// nothing, keeping zero-failure runs bit-identical.
+	RetryJitterFrac float64
 	// CrossPartitionLatency is the client↔agent hop when the two live in
 	// different simulation partitions (sharded runs): a WAN/ZMQ round trip
 	// plus batching, rather than the node-local PipeLatency. It doubles as
@@ -257,6 +270,57 @@ func (p DataParams) BurstBufferBandwidth(n int) float64 {
 	return p.BurstBufferPerNode * float64(n)
 }
 
+// Fault holds the seeded failure-model parameters (internal/fault). The
+// zero value disables every mechanism: no RNG streams are consumed and no
+// events are scheduled, so zero-failure runs stay bit-identical to builds
+// without the fault package wired in. Times are in seconds.
+type FaultParams struct {
+	// NodeMTBF is the per-node mean time between failures; each node's
+	// failure times are exponential draws at this mean. Zero disables
+	// node failures.
+	NodeMTBF float64
+	// NodeDowntime is how long a failed node stays lost before the
+	// backfill replacement restores its capacity to the pilot.
+	NodeDowntime float64
+	// BackendMTBF is the per-instance mean time between backend crashes
+	// (Flux brokers, Dragon runtimes, PRRTE DVMs). Zero disables them.
+	BackendMTBF float64
+	// BackendDowntime is how long a crashed instance stays down before
+	// its restart completes bootstrap again.
+	BackendDowntime float64
+	// StragglerFrac is the fraction of nodes that are slow; each node is
+	// flagged by an independent Bernoulli draw at pilot start.
+	StragglerFrac float64
+	// StragglerFactor stretches plain compute bodies placed on a slow
+	// node (>1; a multi-node task runs at its slowest node's factor).
+	StragglerFactor float64
+	// Horizon bounds the pre-drawn failure schedule (seconds of sim
+	// time). The whole schedule is drawn at pilot start so the event
+	// stream stays finite and replays are trivially bit-identical; zero
+	// defaults to 24 h.
+	Horizon float64
+	// MaxNodeFailures caps the total node failures drawn (0 = unbounded
+	// within Horizon).
+	MaxNodeFailures int
+}
+
+// DefaultFaultHorizon is the schedule horizon used when Horizon is zero.
+const DefaultFaultHorizon = 86400.0
+
+// Enabled reports whether any failure mechanism is switched on.
+func (f FaultParams) Enabled() bool {
+	return f.NodeMTBF > 0 || f.BackendMTBF > 0 ||
+		(f.StragglerFrac > 0 && f.StragglerFactor > 1)
+}
+
+// HorizonOrDefault returns the schedule horizon in seconds.
+func (f FaultParams) HorizonOrDefault() float64 {
+	if f.Horizon > 0 {
+		return f.Horizon
+	}
+	return DefaultFaultHorizon
+}
+
 // Params bundles all model constants.
 type Params struct {
 	Srun    SrunParams
@@ -265,6 +329,7 @@ type Params struct {
 	RP      RPParams
 	Service ServiceParams
 	Data    DataParams
+	Fault   FaultParams
 }
 
 // Default returns the calibrated parameter set. EXPERIMENTS.md records the

@@ -55,13 +55,27 @@ type Node struct {
 	freeCPU   int
 	freeGPU   int
 	allocated bool // reserved exclusively (multi-node MPI jobs)
+	down      bool // lost to a failure; reports zero free capacity
 }
 
-// FreeCPU returns the free CPU slots on the node.
-func (n *Node) FreeCPU() int { return n.freeCPU }
+// FreeCPU returns the free CPU slots on the node; a down node has none.
+func (n *Node) FreeCPU() int {
+	if n.down {
+		return 0
+	}
+	return n.freeCPU
+}
 
-// FreeGPU returns the free GPU slots on the node.
-func (n *Node) FreeGPU() int { return n.freeGPU }
+// FreeGPU returns the free GPU slots on the node; a down node has none.
+func (n *Node) FreeGPU() int {
+	if n.down {
+		return 0
+	}
+	return n.freeGPU
+}
+
+// Down reports whether the node is currently failed.
+func (n *Node) Down() bool { return n.down }
 
 // Exclusive reports whether the node is reserved whole.
 func (n *Node) Exclusive() bool { return n.allocated }
@@ -102,6 +116,45 @@ func NewCluster(spec NodeSpec, n int) *Cluster {
 
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
+
+// FailNode marks node id down: its free capacity reads as zero, so every
+// placement scan skips it, while its internal ledgers stay intact —
+// placements already on the node release normally when their victims are
+// evicted. The epoch advances so placers drop cached placement state.
+// Returns false if the node was already down.
+func (c *Cluster) FailNode(id int) bool {
+	n := c.nodes[id]
+	if n.down {
+		return false
+	}
+	n.down = true
+	c.epoch++
+	return true
+}
+
+// RestoreNode returns a failed node to service (the backfill replacement
+// coming up). The epoch advances because capacity grew: cached "cannot
+// fit" results are no longer valid. Returns false if the node was not down.
+func (c *Cluster) RestoreNode(id int) bool {
+	n := c.nodes[id]
+	if !n.down {
+		return false
+	}
+	n.down = false
+	c.epoch++
+	return true
+}
+
+// DownNodes returns the number of currently failed nodes.
+func (c *Cluster) DownNodes() int {
+	d := 0
+	for _, n := range c.nodes {
+		if n.down {
+			d++
+		}
+	}
+	return d
+}
 
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
@@ -237,6 +290,16 @@ func NewSingleNodePlacement(nodeID, cores, gpus int) *Placement {
 	p.CPUSlots = p.cpuArr[:]
 	p.GPUSlots = p.gpuArr[:]
 	return p
+}
+
+// Includes reports whether the placement claims slots on the node.
+func (p *Placement) Includes(node int) bool {
+	for _, id := range p.NodeIDs {
+		if id == node {
+			return true
+		}
+	}
+	return false
 }
 
 // TotalCPU returns the total CPU slots claimed.

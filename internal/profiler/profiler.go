@@ -47,6 +47,15 @@ const (
 	// EdgeContention: the transfer shared a bandwidth channel with other
 	// in-flight transfers (Ref is the contended channel name).
 	EdgeContention
+	// EdgeFailure: the attempt's work was lost to a failure (Ref is the
+	// failure reason); the edge spans the dead attempt's run window, or —
+	// terminally, when retries are exhausted — the instant of the final
+	// failure.
+	EdgeFailure
+	// EdgeCheckpoint: the task body blocked on checkpoint traffic — a
+	// periodic checkpoint write or a post-relocation restore stage-in
+	// (Ref is the transfer UID).
+	EdgeCheckpoint
 )
 
 var edgeKindNames = [...]string{
@@ -59,6 +68,8 @@ var edgeKindNames = [...]string{
 	EdgeBatch:      "batch",
 	EdgeReplica:    "replica",
 	EdgeContention: "contention",
+	EdgeFailure:    "failure",
+	EdgeCheckpoint: "checkpoint",
 }
 
 func (k EdgeKind) String() string {

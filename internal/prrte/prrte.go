@@ -230,6 +230,51 @@ func (d *DVM) Crash(reason string) {
 	}
 }
 
+// Restart recovers a crashed DVM: the daemons re-bootstrap from scratch —
+// paying the srun step and startup latency again — and, once up, fire any
+// Ready callbacks registered meanwhile and resume launching. No-op unless
+// crashed.
+func (d *DVM) Restart() bool {
+	if !d.crashed {
+		return false
+	}
+	d.crashed = false
+	d.ready = false
+	d.t0 = d.eng.Now()
+	d.boot()
+	return true
+}
+
+// FailNode implements launch.NodeFailer: kills every running task whose
+// placement includes the node, releasing slots and failing requests so the
+// agent relocates them. Tasks still in the prun launch window are not
+// tracked as running and survive. Returns the number of victims.
+func (d *DVM) FailNode(node int, reason string) int {
+	now := d.eng.Now()
+	victims := 0
+	for i := 0; i < len(d.running); {
+		l := d.running[i]
+		if !l.pl.Includes(node) {
+			i++
+			continue
+		}
+		// removeRunning swap-moves the tail into slot i; re-examine it.
+		d.removeRunning(l)
+		if d.util != nil {
+			d.util.Remove(now, l.pl.TotalCPU(), l.pl.TotalGPU())
+		}
+		d.plc.Partition().Release(now, l.pl)
+		d.fail(l.r, reason)
+		victims++
+	}
+	d.pump()
+	return victims
+}
+
+// Kick implements launch.NodeFailer: re-runs placement after external
+// capacity changes (a restored node).
+func (d *DVM) Kick() { d.pump() }
+
 // Shutdown tears the DVM down gracefully.
 func (d *DVM) Shutdown() {
 	d.Drain("prrte DVM shutdown")

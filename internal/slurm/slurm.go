@@ -104,8 +104,9 @@ type SrunLauncher struct {
 	util *platform.UtilizationTracker
 	rand *rng.Stream
 	// queue holds requests not yet placed.
-	queue launch.Queue
-	stats launch.Stats
+	queue   launch.Queue
+	running []*srunTask
+	stats   launch.Stats
 	// rateMult is the per-run variability multiplier on prolog latency.
 	rateMult float64
 	drained  bool
@@ -121,6 +122,9 @@ type srunTask struct {
 	r       *launch.Request
 	pl      *platform.Placement
 	release func()
+	// runIdx is the slot in the launcher's running list, -1 when not
+	// running.
+	runIdx int
 }
 
 // NewSrunLauncher returns a launcher over the partition. srun needs no
@@ -217,7 +221,7 @@ func (s *SrunLauncher) launch(r *launch.Request, pl *platform.Placement) {
 	if stepNodes < 1 {
 		stepNodes = 1
 	}
-	st := &srunTask{r: r, pl: pl}
+	st := &srunTask{r: r, pl: pl, runIdx: -1}
 	queuedAt := s.eng.Now()
 	s.ctrl.StartStep(s.Nodes(), stepNodes, func(release func()) {
 		// The wait for a ceiling slot (and the controller's serial step
@@ -242,6 +246,8 @@ func (s *SrunLauncher) run(arg any) {
 	st := arg.(*srunTask)
 	now := s.eng.Now()
 	s.stats.Started++
+	st.runIdx = len(s.running)
+	s.running = append(s.running, st)
 	if s.util != nil {
 		s.util.Add(now, st.pl.TotalCPU(), st.pl.TotalGPU())
 	}
@@ -253,6 +259,10 @@ func (s *SrunLauncher) run(arg any) {
 // ceiling slot frees.
 func (s *SrunLauncher) taskDone(arg any) {
 	st := arg.(*srunTask)
+	if st.runIdx < 0 {
+		return // killed by a node failure; the stale body timer is inert
+	}
+	s.removeRunning(st)
 	end := s.eng.Now()
 	if s.util != nil {
 		s.util.Remove(end, st.pl.TotalCPU(), st.pl.TotalGPU())
@@ -263,3 +273,46 @@ func (s *SrunLauncher) taskDone(arg any) {
 	st.r.NotifyComplete(end, false, "")
 	s.pump()
 }
+
+// removeRunning swap-deletes a task from the running list in O(1).
+func (s *SrunLauncher) removeRunning(st *srunTask) {
+	last := len(s.running) - 1
+	moved := s.running[last]
+	s.running[st.runIdx] = moved
+	moved.runIdx = st.runIdx
+	s.running[last] = nil
+	s.running = s.running[:last]
+	st.runIdx = -1
+}
+
+// FailNode implements launch.NodeFailer: kills every running srun whose
+// placement includes the node — the srun exits, its ceiling slot frees,
+// its slots release, and the request fails so the agent relocates the
+// task. Tasks still in the prolog window are not tracked as running and
+// survive. Returns the number of victims.
+func (s *SrunLauncher) FailNode(node int, reason string) int {
+	now := s.eng.Now()
+	victims := 0
+	for i := 0; i < len(s.running); {
+		st := s.running[i]
+		if !st.pl.Includes(node) {
+			i++
+			continue
+		}
+		// removeRunning swap-moves the tail into slot i; re-examine it.
+		s.removeRunning(st)
+		if s.util != nil {
+			s.util.Remove(now, st.pl.TotalCPU(), st.pl.TotalGPU())
+		}
+		s.plc.Partition().Release(now, st.pl)
+		st.release()
+		s.fail(st.r, reason)
+		victims++
+	}
+	s.pump()
+	return victims
+}
+
+// Kick implements launch.NodeFailer: re-runs placement after external
+// capacity changes (a restored node).
+func (s *SrunLauncher) Kick() { s.pump() }

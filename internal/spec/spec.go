@@ -198,6 +198,18 @@ type TaskDescription struct {
 	// Workflow and Stage tag campaign tasks for analytics.
 	Workflow string
 	Stage    string
+	// CheckpointInterval enables checkpoint/restart for the compute body:
+	// every interval of virtual compute, the task writes CheckpointBytes to
+	// CheckpointDest through the data subsystem (contending for bandwidth
+	// like any transfer). After a failure the relocated attempt stages the
+	// last checkpoint back in and resumes from the saved fraction instead
+	// of recomputing from zero. Zero disables checkpointing.
+	CheckpointInterval sim.Duration
+	// CheckpointBytes is the size of one checkpoint image.
+	CheckpointBytes int64
+	// CheckpointDest is the tier checkpoints are written to; the zero
+	// value is the shared file system.
+	CheckpointDest StageTier
 	// Service marks long-running service tasks managed by the service
 	// manager (started before the workload, stopped at teardown).
 	// Service-endpoint replicas deployed through a ServiceDescription
@@ -244,6 +256,12 @@ func (t *TaskDescription) HasStaging() bool {
 	return len(t.InputData) > 0 || len(t.OutputData) > 0
 }
 
+// Checkpointed reports whether the task periodically persists its state
+// for checkpoint/restart.
+func (t *TaskDescription) Checkpointed() bool {
+	return t.CheckpointInterval > 0 && t.CheckpointBytes > 0
+}
+
 // Validate checks the description for inconsistencies.
 func (t *TaskDescription) Validate(slotsPerNode, gpusPerNode int) error {
 	if t.Ranks < 0 || t.CoresPerRank < 0 || t.GPUsPerRank < 0 || t.Nodes < 0 {
@@ -278,6 +296,12 @@ func (t *TaskDescription) Validate(slotsPerNode, gpusPerNode int) error {
 		if err := t.OutputData[i].Validate(); err != nil {
 			return fmt.Errorf("task %q output %d: %w", t.UID, i, err)
 		}
+	}
+	if t.CheckpointInterval < 0 || t.CheckpointBytes < 0 {
+		return fmt.Errorf("spec: negative checkpoint parameter in task %q", t.UID)
+	}
+	if t.CheckpointInterval > 0 && !t.CheckpointDest.valid() {
+		return fmt.Errorf("spec: task %q names an invalid checkpoint tier", t.UID)
 	}
 	if len(t.Requests) > 0 {
 		if t.Service {

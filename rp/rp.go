@@ -149,6 +149,12 @@ func SummarizeLatencies(ds []Duration) LatencySummary {
 // Params bundles the calibrated model constants (see internal/model).
 type Params = model.Params
 
+// FaultParams configures the seeded failure model (Params.Fault): node
+// MTBF/downtime, backend crash/restart churn, and straggler nodes. Leaving
+// it zero-valued keeps the simulator failure-free and bit-identical to a
+// build without the fault machinery.
+type FaultParams = model.FaultParams
+
 // Task modalities.
 const (
 	Executable = spec.Executable
@@ -254,6 +260,8 @@ const (
 	EdgeBatch      = profiler.EdgeBatch
 	EdgeReplica    = profiler.EdgeReplica
 	EdgeContention = profiler.EdgeContention
+	EdgeFailure    = profiler.EdgeFailure
+	EdgeCheckpoint = profiler.EdgeCheckpoint
 )
 
 // BlameSink is the streaming critical-path sink: it digests each terminal
