@@ -230,6 +230,8 @@ func benchShardedImpeccable(b *testing.B, shards int) {
 	b.ReportMetric(float64(res.Tasks), "tasks")
 	b.ReportMetric(float64(res.Shards), "shards")
 	b.ReportMetric(float64(res.Windows), "windows")
+	b.ReportMetric(float64(res.BarrierStallNs)/1e6, "barrier_stall_ms")
+	b.ReportMetric(res.LookaheadEff, "lookahead_eff")
 }
 
 // BenchmarkMillionTaskCampaign pushes 2^20 null tasks through 16 pilot

@@ -18,7 +18,10 @@
 // any gated benchmark regressed by more than -max-regress percent on
 // either metric — the CI performance ratchet. Gate failures print each
 // side's cpu count and shard count (the `shards` metric, when reported)
-// so cross-environment noise is recognizable at a glance.
+// so cross-environment noise is recognizable at a glance. When both
+// archives report sharded-engine telemetry (windows, barrier_stall_ms,
+// lookahead_eff) the diff prints those deltas as an indented sub-line —
+// informational only, never gated.
 package main
 
 import (
@@ -192,6 +195,37 @@ func runMain(args []string) {
 // diffMetrics are the metrics the diff table and the gate look at.
 var diffMetrics = []string{"ns/op", "allocs/op"}
 
+// shardMetrics are the sharded-engine telemetry metrics shown as an
+// informational sub-line when both archives carry them. They never gate:
+// window counts move with lookahead tuning and stall is wall-clock noise,
+// but their drift explains ns/op drift, so the diff surfaces it.
+var shardMetrics = []string{"windows", "barrier_stall_ms", "lookahead_eff"}
+
+// shardDeltaLine renders the indented telemetry sub-line for one benchmark
+// pair, or "" when neither metric is present on both sides.
+func shardDeltaLine(ob, nb Benchmark) string {
+	var parts []string
+	for _, m := range shardMetrics {
+		ov, ook := ob.Metrics[m]
+		nv, nok := nb.Metrics[m]
+		if !ook || !nok {
+			continue
+		}
+		var delta float64
+		switch {
+		case ov != 0:
+			delta = (nv - ov) / ov * 100
+		case nv != 0:
+			delta = math.Inf(1)
+		}
+		parts = append(parts, fmt.Sprintf("%s %.1f -> %.1f (%+.1f%%)", m, ov, nv, delta))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "      " + strings.Join(parts, "   ")
+}
+
 // diffMain implements `benchjson diff old.json new.json`.
 func diffMain(args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
@@ -270,6 +304,9 @@ func diffMain(args []string) {
 			}
 		}
 		fmt.Println(row + marker)
+		if sub := shardDeltaLine(ob, nb); sub != "" {
+			fmt.Println(sub)
+		}
 	}
 	for g := range gated {
 		if _, ok := newBy[g]; !ok {

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	rpbench [-full] [-reps N] [-seed S] [-parallel N] [-shards N] [-only table1|fig4|fig5|fig6|fig7|fig8|claims|telemetry|blame|sharded]
+//	rpbench [-full] [-reps N] [-seed S] [-parallel N] [-shards N] [-serve ADDR]
+//	        [-only table1|fig4|fig5|fig6|fig7|fig8|claims|telemetry|blame|sharded]
 //
 // Without -only it runs the complete suite. -full includes the 1024-node
 // throughput sweeps (slower); Fig 8 and the claims always run the paper's
@@ -13,7 +14,9 @@
 // cell order). The sharded artifact runs one multi-pilot campaign at 1, 2,
 // 4, … up to -shards worker shards (default derived from NumCPU) and
 // prints the wall-clock speedup scorecard — the simulated result is
-// identical at every shard count, so only wall time moves.
+// identical at every shard count, so only wall time moves. -serve exposes
+// /metrics (Prometheus text exposition), /healthz and /progress over HTTP
+// for the life of the process; the sharded artifact feeds it live.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"rpgo/internal/experiments"
+	"rpgo/internal/obs"
 )
 
 func main() {
@@ -32,11 +36,23 @@ func main() {
 	seed := flag.Uint64("seed", 20250916, "base RNG seed")
 	parallel := flag.Int("parallel", 1, "worker count for independent experiment cells")
 	shards := flag.Int("shards", experiments.DefaultShards(), "max worker shards for the sharded-engine scorecard")
+	serve := flag.String("serve", "", "serve /metrics, /healthz and /progress on this address (e.g. :9464) while the sharded artifact runs")
 	only := flag.String("only", "", "run a single artifact: table1, fig4, fig5, fig6, fig7, fig8, claims, telemetry, blame, sharded")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
 	sc := experiments.SuiteConfig{Seed: *seed, Reps: *reps, Full: *full}
+
+	var mon *obs.Monitor
+	if *serve != "" {
+		mon = obs.NewMonitor(0)
+		addr, err := mon.Serve(*serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpbench: -serve %s: %v\n", *serve, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: monitoring on http://%s/metrics\n", addr)
+	}
 
 	artifacts := []struct {
 		name string
@@ -51,7 +67,7 @@ func main() {
 		{"claims", func() string { return experiments.ReportClaims(sc) }},
 		{"telemetry", func() string { return experiments.ReportTelemetry(sc) }},
 		{"blame", func() string { return experiments.ReportBlame(sc) }},
-		{"sharded", func() string { return reportSharded(*shards, sc.Seed) }},
+		{"sharded", func() string { return reportSharded(*shards, sc.Seed, mon) }},
 	}
 
 	ran := 0
@@ -74,14 +90,18 @@ func main() {
 
 // reportSharded renders the speedup-vs-shards scorecard for the 65536-node
 // multi-pilot campaign.
-func reportSharded(maxShards int, seed uint64) string {
+func reportSharded(maxShards int, seed uint64, mon *obs.Monitor) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Sharded engine scorecard — 16 pilots × 4096 nodes, IMPECCABLE/Flux (seed %d)\n\n", seed)
-	fmt.Fprintf(&sb, "%8s %12s %10s %10s %10s\n", "shards", "wall", "speedup", "tasks", "windows")
-	for _, row := range experiments.ReportSharded(65536, 16, maxShards, seed, 0) {
-		fmt.Fprintf(&sb, "%8d %12s %9.2fx %10d %10d\n",
-			row.Shards, row.Wall.Round(time.Millisecond), row.Speedup, row.Tasks, row.Windows)
+	fmt.Fprintf(&sb, "%8s %12s %10s %10s %10s %12s %10s\n",
+		"shards", "wall", "speedup", "tasks", "windows", "stall", "la_eff")
+	for _, row := range experiments.ReportSharded(65536, 16, maxShards, seed, 0, mon) {
+		fmt.Fprintf(&sb, "%8d %12s %9.2fx %10d %10d %12s %10.2f\n",
+			row.Shards, row.Wall.Round(time.Millisecond), row.Speedup, row.Tasks, row.Windows,
+			row.Stall.Round(time.Millisecond), row.Efficiency)
 	}
-	sb.WriteString("\nSimulated traces are identical at every shard count; only wall time moves.")
+	sb.WriteString("\nSimulated traces are identical at every shard count; only wall time moves.\n")
+	sb.WriteString("stall = summed wall-clock barrier wait; la_eff = measured sim-time advanced\n")
+	sb.WriteString("per barrier over the lookahead window (>=1; higher is better).")
 	return sb.String()
 }

@@ -8,7 +8,9 @@
 //	rptrace top [-n 10] [run.jsonl]              longest task executions
 //	rptrace blame [run.jsonl]                    makespan blame decomposition
 //	rptrace critpath [-n 25] [run.jsonl]         causal critical chain
+//	rptrace shards [run.jsonl]                   per-shard window telemetry table
 //	rptrace validate [trace.json]                check a trace-event export
+//	rptrace promcheck [-require a,b] [scrape]    parse a Prometheus exposition
 //
 // Input defaults to stdin so spills pipe straight through:
 //
@@ -26,6 +28,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"rpgo/internal/obs"
 )
@@ -47,8 +50,12 @@ func main() {
 		err = cmdBlame(os.Args[2:])
 	case "critpath":
 		err = cmdCritpath(os.Args[2:])
+	case "shards":
+		err = cmdShards(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "promcheck":
+		err = cmdPromcheck(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -70,7 +77,9 @@ func usage() {
   rptrace top [-n 10] [run.jsonl]              longest task executions
   rptrace blame [run.jsonl]                    makespan blame decomposition
   rptrace critpath [-n 25] [run.jsonl]         causal critical chain
+  rptrace shards [run.jsonl]                   per-shard window telemetry table
   rptrace validate [trace.json]                check a trace-event export
+  rptrace promcheck [-require a,b] [scrape]    parse a Prometheus exposition
 `)
 }
 
@@ -239,6 +248,85 @@ func cmdValidate(args []string) error {
 		return fmt.Errorf("empty trace: no events (truncated export?)")
 	}
 	fmt.Printf("rptrace: %d trace events valid\n", n)
+	return nil
+}
+
+func cmdShards(args []string) error {
+	fs := flag.NewFlagSet("shards", flag.ExitOnError)
+	fs.Parse(args)
+	in, err := openInput(fs.Args())
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	var recs []obs.ShardRecord
+	records := 0
+	if err := obs.ReadRecords(in, func(rec *obs.Record) error {
+		records++
+		if rec.Shard != nil {
+			recs = append(recs, *rec.Shard)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if records == 0 {
+		return fmt.Errorf("empty spill: no records (wrong file, or a run that never flushed its sink?)")
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("spill has %d records but no shard records — run on a sharded session (rpsim -exp impeccable -trace)", records)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Shard < recs[j].Shard })
+	fmt.Print(obs.RenderShardTable(recs))
+	return nil
+}
+
+func cmdPromcheck(args []string) error {
+	fs := flag.NewFlagSet("promcheck", flag.ExitOnError)
+	require := fs.String("require", "", "comma-separated sample names that must be present with a nonzero value")
+	fs.Parse(args)
+	in, err := openInput(fs.Args())
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	samples, err := obs.ParseExposition(in)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("empty exposition: no samples (did the run publish a snapshot?)")
+	}
+	byName := make(map[string]float64)
+	for _, s := range samples {
+		// Any labeled variant satisfies a bare-name requirement; keep the
+		// largest value so zero-valued variants don't mask a live one.
+		if v, ok := byName[s.Name]; !ok || s.Value > v {
+			byName[s.Name] = s.Value
+		}
+	}
+	var missing, zero []string
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			v, ok := byName[name]
+			switch {
+			case !ok:
+				missing = append(missing, name)
+			case v == 0:
+				zero = append(zero, name)
+			}
+		}
+	}
+	if len(missing) > 0 || len(zero) > 0 {
+		return fmt.Errorf("exposition has %d samples but missing %v, zero-valued %v", len(samples), missing, zero)
+	}
+	fmt.Printf("rptrace: %d samples across %d metric names parse cleanly\n", len(samples), len(byName))
 	return nil
 }
 

@@ -118,6 +118,11 @@ type Agent struct {
 	// execution-time stretch factor (≥ 1) applied to plain compute bodies
 	// placed on that node (straggler model).
 	slowFactor func(node int) float64
+
+	// Phase, when set before the engine runs, is handed to every backend
+	// launcher that supports launch.PhaseAttacher as it is created during
+	// bootstrap (launchers do not exist yet when the pilot is submitted).
+	Phase sim.PhaseFunc
 	// elastic marks that a fault injector manages this pilot: a group
 	// whose instances are all down parks tasks until a restart instead of
 	// failing them (without an injector nothing would ever restart them).
@@ -236,6 +241,11 @@ func (a *Agent) bootstrapBackends() {
 				l = rt
 			default:
 				panic("agent: unknown backend " + pc.Backend.String())
+			}
+			if a.Phase != nil {
+				if pa, ok := l.(launch.PhaseAttacher); ok {
+					pa.AttachPhase(a.Phase)
+				}
 			}
 			g.launchers = append(g.launchers, l)
 			g.alive = append(g.alive, true)

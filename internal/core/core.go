@@ -45,6 +45,12 @@ type Config struct {
 	// MetricsTick is the sampling granularity (in sim time) for gauge time
 	// series in the session's metrics registry; zero uses obs.DefaultTick.
 	MetricsTick sim.Duration
+	// Profile, when set, attaches the wall-clock self-profiler: the engine,
+	// trace sinks and every backend placer report phase samples into it,
+	// and MetricsSnapshot merges the totals as selfprof.* counters. Nil
+	// (the default) leaves every hook unset — golden fingerprints and hot
+	// paths are untouched.
+	Profile *obs.SelfProfiler
 }
 
 // Session owns the simulation engine, the machine, the Slurm controller,
@@ -62,7 +68,11 @@ type Session struct {
 	pilots   []*Pilot
 	taskSeq  int
 	pilotSeq int
+	profile  *obs.SelfProfiler
 }
+
+// Profile returns the session's self-profiler (nil when profiling is off).
+func (s *Session) Profile() *obs.SelfProfiler { return s.profile }
 
 // NewSession creates a session with its own event engine.
 func NewSession(cfg Config) *Session {
@@ -84,6 +94,13 @@ func NewSessionOn(eng *sim.Engine, cfg Config) *Session {
 	if cfg.Sink != nil {
 		prof.SetSink(cfg.Sink)
 	}
+	if cfg.Profile != nil {
+		// Engine dispatch timing (fires from Engine.Run only — sharded
+		// sessions report through the coordinator instead) and sink-fold
+		// timing. Placer hooks attach per pilot in SubmitPilot.
+		eng.Phase = cfg.Profile.Observe
+		prof.Phase = cfg.Profile.Observe
+	}
 	return &Session{
 		Engine:     eng,
 		Controller: slurm.NewController(eng, params.Srun, src),
@@ -91,6 +108,7 @@ func NewSessionOn(eng *sim.Engine, cfg Config) *Session {
 		Metrics:    obs.NewRegistry(cfg.MetricsTick),
 		Params:     params,
 		src:        src,
+		profile:    cfg.Profile,
 	}
 }
 
@@ -162,6 +180,12 @@ func (s *Session) SubmitPilot(pd spec.PilotDescription) (*Pilot, error) {
 		return nil, err
 	}
 	p.Agent = ag
+	if s.profile != nil {
+		// Launchers are created later, during agent bootstrap; the agent
+		// attaches the hook to each placement-capable launcher as it comes
+		// up (launch.PhaseAttacher).
+		ag.Phase = s.profile.Observe
+	}
 	if s.Params.Fault.Enabled() {
 		// The injector draws only from its own named streams, so sessions
 		// without faults (this branch never taken) are bit-identical to
@@ -410,7 +434,14 @@ func (tm *TaskManager) Wait() error {
 // indirection: the event engine, the Slurm srun ceiling, every backend's
 // placement machinery, the agent dispatch pipeline, the data subsystem's
 // locality counters, and any deployed inference services.
-func (s *Session) MetricsSnapshot() *obs.Snapshot {
+func (s *Session) MetricsSnapshot() *obs.Snapshot { return s.snapshot(true) }
+
+// LiveSnapshot is the mid-run variant behind the monitor's /metrics: the
+// same export minus the blame decomposition, which walks retained traces
+// and is only meaningful (or safe) once the run has finished.
+func (s *Session) LiveSnapshot() *obs.Snapshot { return s.snapshot(false) }
+
+func (s *Session) snapshot(includeBlame bool) *obs.Snapshot {
 	snap := s.Metrics.Snapshot()
 	snap.Put("sim.events", float64(s.Engine.Steps()))
 	snap.Put("sim.heap_highwater", float64(s.Engine.HeapHighWater()))
@@ -492,9 +523,11 @@ func (s *Session) MetricsSnapshot() *obs.Snapshot {
 		snap.Put("fault.down_nodes", float64(downNodes))
 	}
 
+	s.profile.Merge(snap)
+
 	// Blame summary (retained-trace sessions only; streaming sinks own the
 	// records and report through their own Blame sink instead).
-	if s.Profiler.Retain() {
+	if includeBlame && s.Profiler.Retain() {
 		if traces := s.Profiler.Tasks(); len(traces) > 0 {
 			rep := analytics.BlameFromTraces(traces)
 			snap.Put("blame.makespan_seconds", rep.Makespan.Seconds())

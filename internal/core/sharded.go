@@ -21,6 +21,10 @@
 package core
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"rpgo/internal/agent"
 	"rpgo/internal/model"
 	"rpgo/internal/obs"
@@ -69,6 +73,11 @@ type ShardedConfig struct {
 	Sink func(domain int) profiler.TraceSink
 	// MetricsTick is the gauge sampling granularity for every domain.
 	MetricsTick sim.Duration
+	// Profile, when set, is the wall-clock self-profiler shared by every
+	// domain AND the sharded coordinator (window dispatch, exchange and
+	// barrier-stall samples). It is concurrency-safe by construction, so
+	// one instance serves all shards.
+	Profile *obs.SelfProfiler
 }
 
 // ShardedSession is a multi-domain session on a sharded engine.
@@ -101,6 +110,9 @@ func NewShardedSession(cfg ShardedConfig) *ShardedSession {
 		Lookahead:  la,
 	})
 	ss := &ShardedSession{Eng: se, lookahead: la}
+	if cfg.Profile != nil {
+		se.Phase = cfg.Profile.Observe
+	}
 	for d := 0; d < cfg.Domains; d++ {
 		p := params
 		if d > 0 {
@@ -123,6 +135,7 @@ func NewShardedSession(cfg ShardedConfig) *ShardedSession {
 			RecordEvents: cfg.RecordEvents,
 			Sink:         sink,
 			MetricsTick:  cfg.MetricsTick,
+			Profile:      cfg.Profile,
 		}))
 	}
 	return ss
@@ -222,13 +235,27 @@ func (ss *ShardedSession) Flush() error {
 
 // MetricsSnapshot merges the per-domain snapshots: counters are summed
 // across domains, then the engine-level counters are replaced with the
-// sharded engine's totals and the sharded.* group is added. Gauge series
-// and histograms are taken from the client domain only (per-domain
-// registries stay available through Domain(d).MetricsSnapshot()).
-func (ss *ShardedSession) MetricsSnapshot() *obs.Snapshot {
-	snap := ss.domains[0].MetricsSnapshot()
+// sharded engine's totals and the sharded.* and per-shard shardN.* groups
+// are added. Gauge series and histograms are taken from the client domain
+// only (per-domain registries stay available through
+// Domain(d).MetricsSnapshot()).
+func (ss *ShardedSession) MetricsSnapshot() *obs.Snapshot { return ss.snapshot(true) }
+
+// LiveSnapshot is the mid-run variant behind the monitor: the same merged
+// export minus the per-domain blame decompositions (see Session.
+// LiveSnapshot).
+func (ss *ShardedSession) LiveSnapshot() *obs.Snapshot { return ss.snapshot(false) }
+
+func (ss *ShardedSession) snapshot(includeBlame bool) *obs.Snapshot {
+	snap := ss.domains[0].snapshot(includeBlame)
 	for _, s := range ss.domains[1:] {
-		for k, v := range s.MetricsSnapshot().Counters {
+		for k, v := range s.snapshot(includeBlame).Counters {
+			// Every domain shares one self-profiler, and domain 0's snapshot
+			// already merged it; summing the identical totals again would
+			// multiply them by the domain count.
+			if strings.HasPrefix(k, "selfprof.") {
+				continue
+			}
 			snap.Put(k, snap.Counters[k]+v)
 		}
 	}
@@ -241,5 +268,36 @@ func (ss *ShardedSession) MetricsSnapshot() *obs.Snapshot {
 	snap.Put("sharded.cross_events", float64(ss.Eng.CrossEvents()))
 	snap.Put("sharded.shards", float64(ss.Eng.Shards()))
 	snap.Put("sharded.partitions", float64(ss.Eng.Partitions()))
+	snap.Put("sharded.sim_advanced_us", float64(ss.Eng.SimAdvanced()))
+	snap.Put("sharded.lookahead_us", float64(ss.lookahead))
+	snap.Put("sharded.barrier_stall_ns", float64(ss.Eng.BarrierStallNs()))
+	snap.Put("sharded.exchange_ns", float64(ss.Eng.ExchangeNs()))
+	eff := ss.Eng.LookaheadEfficiency()
+	snap.PutGauge("sharded.lookahead_efficiency", eff, eff)
+	for i, st := range ss.Eng.ShardStats() {
+		p := "shard" + strconv.Itoa(i) + "."
+		snap.Put(p+"events", float64(st.Events))
+		snap.Put(p+"windows_busy", float64(st.Busy))
+		snap.Put(p+"windows_skipped", float64(st.Skipped))
+		snap.Put(p+"busy_ns", float64(st.BusyNs))
+		snap.Put(p+"barrier_stall_ns", float64(st.StallNs))
+		snap.Put(p+"xmsgs_sent", float64(st.Sent))
+		snap.Put(p+"xmsgs_recv", float64(st.Recv))
+		if tot := st.BusyNs + st.StallNs; tot > 0 {
+			occ := float64(st.BusyNs) / float64(tot)
+			snap.PutGauge(p+"occupancy", occ, occ)
+		}
+	}
+	for d, n := range ss.Eng.CrossByDst() {
+		if n > 0 {
+			snap.Put(fmt.Sprintf("sharded.xmsgs_to.d%02d", d), float64(n))
+		}
+	}
 	return snap
+}
+
+// ShardRecords exports the engine's per-shard telemetry in spill form;
+// campaign runners append them to JSONL trace spills for rptrace shards.
+func (ss *ShardedSession) ShardRecords() []obs.ShardRecord {
+	return obs.ShardRecords(ss.Eng)
 }

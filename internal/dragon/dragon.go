@@ -193,6 +193,9 @@ func (d *Runtime) Telemetry() launch.Telemetry {
 	return launch.Telemetry{Placer: d.plc.Stats(), QueueHighWater: d.queue.HighWater()}
 }
 
+// AttachPhase implements launch.PhaseAttacher.
+func (d *Runtime) AttachPhase(fn sim.PhaseFunc) { d.plc.Phase = fn }
+
 // Failed reports whether bootstrap failed.
 func (d *Runtime) Failed() bool { return d.failed }
 

@@ -14,6 +14,7 @@ import (
 	"rpgo/internal/core"
 	"rpgo/internal/metrics"
 	"rpgo/internal/model"
+	"rpgo/internal/obs"
 	"rpgo/internal/profiler"
 	"rpgo/internal/sim"
 	"rpgo/internal/spec"
@@ -315,6 +316,12 @@ type ImpeccableConfig struct {
 	// empty and the trace-derived summary fields stay zero — read the
 	// sink's folds instead.
 	Sink profiler.TraceSink
+	// Profile, when set, self-profiles the run's wall-clock phases
+	// (dispatch, sink folds, placement); nil leaves every hook unset.
+	Profile *obs.SelfProfiler
+	// Monitor, when set, is attached to the engine and fed the session's
+	// live snapshot plus campaign progress, and published once at the end.
+	Monitor *obs.Monitor
 }
 
 // ImpeccableResult captures a campaign run (one repetition — the paper's
@@ -339,7 +346,13 @@ type ImpeccableResult struct {
 
 // RunImpeccable executes the campaign end to end.
 func RunImpeccable(cfg ImpeccableConfig) ImpeccableResult {
-	sess := core.NewSession(core.Config{Seed: cfg.Seed, Params: cfg.Params, Sink: cfg.Sink})
+	sess := core.NewSession(core.Config{
+		Seed: cfg.Seed, Params: cfg.Params, Sink: cfg.Sink, Profile: cfg.Profile,
+	})
+	if cfg.Monitor != nil {
+		cfg.Monitor.Attach(sess.Engine)
+		cfg.Monitor.SetSource(sess.LiveSnapshot)
+	}
 	var parts []spec.PartitionConfig
 	switch cfg.Backend {
 	case spec.BackendSrun:
@@ -356,6 +369,11 @@ func RunImpeccable(cfg ImpeccableConfig) ImpeccableResult {
 		panic(fmt.Sprintf("experiments: impeccable: %v", err))
 	}
 	tm := sess.TaskManager(pilot)
+	if cfg.Monitor != nil {
+		cfg.Monitor.SetProgress(func() (int, int) {
+			return tm.FinalCount(), tm.SubmittedCount()
+		})
+	}
 	camp := campaign.New(campaign.Config{
 		Nodes:      cfg.Nodes,
 		MaxIters:   cfg.MaxIters,
@@ -367,6 +385,7 @@ func RunImpeccable(cfg ImpeccableConfig) ImpeccableResult {
 	if err := tm.Wait(); err != nil {
 		panic(fmt.Sprintf("experiments: impeccable: %v", err))
 	}
+	cfg.Monitor.Publish()
 	tasks := sess.Profiler.Tasks()
 	start, end := execWindow(tasks)
 

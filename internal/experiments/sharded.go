@@ -53,6 +53,13 @@ type ShardedImpeccableConfig struct {
 	MaxIters int
 	// Sink builds per-domain trace sinks (may be nil).
 	Sink func(domain int) profiler.TraceSink
+	// Profile, when set, self-profiles the run's wall-clock phases across
+	// all domains; nil leaves every hook unset.
+	Profile *obs.SelfProfiler
+	// Monitor, when set, is attached to the sharded coordinator's window
+	// barrier, fed the merged live snapshot and campaign progress, and
+	// published once at the end of the run.
+	Monitor *obs.Monitor
 }
 
 // ShardedImpeccableResult captures one sharded campaign run.
@@ -70,6 +77,14 @@ type ShardedImpeccableResult struct {
 	Windows     uint64
 	CrossEvents uint64
 	Shards      int
+	// BarrierStallNs is total wall-clock time shards spent waiting at
+	// window barriers; LookaheadEff is the measured sim-time advanced per
+	// barrier relative to the lookahead (≥1; higher = fewer barriers per
+	// unit of simulated time).
+	BarrierStallNs int64
+	LookaheadEff   float64
+	// ShardStats are the final per-shard window/traffic counters.
+	ShardStats []obs.ShardRecord
 }
 
 // RunShardedImpeccable executes one or more IMPECCABLE campaigns — one per
@@ -90,7 +105,12 @@ func RunShardedImpeccable(cfg ShardedImpeccableConfig) ShardedImpeccableResult {
 		Domains: domains,
 		Shards:  cfg.Shards,
 		Sink:    cfg.Sink,
+		Profile: cfg.Profile,
 	})
+	if cfg.Monitor != nil {
+		cfg.Monitor.AttachSharded(ss.Eng)
+		cfg.Monitor.SetSource(ss.LiveSnapshot)
+	}
 	var parts []spec.PartitionConfig
 	switch cfg.Backend {
 	case spec.BackendSrun:
@@ -129,6 +149,19 @@ func RunShardedImpeccable(cfg ShardedImpeccableConfig) ShardedImpeccableResult {
 		tms[i] = tm
 		camps[i] = camp
 	}
+	if cfg.Monitor != nil {
+		// The heartbeat fires on the coordinator after the window barrier,
+		// when every domain is quiescent, so summing live task-manager
+		// counters here is safe.
+		cfg.Monitor.SetProgress(func() (int, int) {
+			done, total := 0, 0
+			for _, tm := range tms {
+				done += tm.FinalCount()
+				total += tm.SubmittedCount()
+			}
+			return done, total
+		})
+	}
 	// The first Wait drives the sharded engine to global quiescence; the
 	// rest only verify their own completion counts.
 	for _, tm := range tms {
@@ -140,15 +173,19 @@ func RunShardedImpeccable(cfg ShardedImpeccableConfig) ShardedImpeccableResult {
 	tasks := ss.Tasks()
 	start, end := execWindow(tasks)
 	res := ShardedImpeccableResult{
-		Config:      cfg,
-		Tasks:       len(tasks),
-		Makespan:    metrics.Makespan(tasks),
-		CPUUtil:     metrics.Utilization(tasks, cfg.Nodes*CoresPerNode, start, end),
-		Traces:      tasks,
-		Windows:     ss.Eng.Windows(),
-		CrossEvents: ss.Eng.CrossEvents(),
-		Shards:      ss.Eng.Shards(),
+		Config:         cfg,
+		Tasks:          len(tasks),
+		Makespan:       metrics.Makespan(tasks),
+		CPUUtil:        metrics.Utilization(tasks, cfg.Nodes*CoresPerNode, start, end),
+		Traces:         tasks,
+		Windows:        ss.Eng.Windows(),
+		CrossEvents:    ss.Eng.CrossEvents(),
+		Shards:         ss.Eng.Shards(),
+		BarrierStallNs: ss.Eng.BarrierStallNs(),
+		LookaheadEff:   ss.Eng.LookaheadEfficiency(),
+		ShardStats:     obs.ShardRecords(ss.Eng),
 	}
+	cfg.Monitor.Publish()
 	for _, camp := range camps {
 		res.Failed += camp.TotalFailed()
 	}
@@ -305,13 +342,19 @@ type ShardSpeedup struct {
 	Speedup float64
 	Tasks   int
 	Windows uint64
+	// Stall is the total wall-clock barrier wait summed over shards;
+	// Efficiency is the measured lookahead efficiency of the run.
+	Stall      time.Duration
+	Efficiency float64
 }
 
 // ReportSharded runs the multi-pilot campaign at 1, 2, 4, … shards up to
 // maxShards and reports real wall-clock speedup relative to the 1-shard
 // run. The simulated traces are identical at every shard count, so the
-// rows differ only in wall time.
-func ReportSharded(nodes, pilots, maxShards int, seed uint64, maxIters int) []ShardSpeedup {
+// rows differ only in wall time (and in the measured barrier-stall and
+// lookahead-efficiency columns). A non-nil mon is attached to every run so
+// a scraper watching /metrics sees each shard count in turn.
+func ReportSharded(nodes, pilots, maxShards int, seed uint64, maxIters int, mon *obs.Monitor) []ShardSpeedup {
 	if maxShards < 1 {
 		maxShards = 1
 	}
@@ -326,12 +369,17 @@ func ReportSharded(nodes, pilots, maxShards int, seed uint64, maxIters int) []Sh
 			Backend:  spec.BackendFlux,
 			Seed:     seed,
 			MaxIters: maxIters,
+			Monitor:  mon,
 		})
 		wall := time.Since(t0)
 		if s == 1 {
 			base = wall
 		}
-		row := ShardSpeedup{Shards: res.Shards, Wall: wall, Tasks: res.Tasks, Windows: res.Windows}
+		row := ShardSpeedup{
+			Shards: res.Shards, Wall: wall, Tasks: res.Tasks, Windows: res.Windows,
+			Stall:      time.Duration(res.BarrierStallNs),
+			Efficiency: res.LookaheadEff,
+		}
 		if wall > 0 {
 			row.Speedup = float64(base) / float64(wall)
 		}

@@ -187,6 +187,9 @@ func (in *Instance) Telemetry() launch.Telemetry {
 	return launch.Telemetry{Placer: in.plc.Stats(), QueueHighWater: in.queue.HighWater()}
 }
 
+// AttachPhase implements launch.PhaseAttacher.
+func (in *Instance) AttachPhase(fn sim.PhaseFunc) { in.plc.Phase = fn }
+
 // Rate returns the instance's effective dispatch rate (jobs/s).
 func (in *Instance) Rate() float64 {
 	return in.params.Rate(in.Nodes()) * in.eta * in.rateMult

@@ -5,6 +5,7 @@ package launch
 
 import (
 	"fmt"
+	"time"
 
 	"rpgo/internal/platform"
 	"rpgo/internal/profiler"
@@ -185,6 +186,12 @@ type Instrumented interface {
 	Telemetry() Telemetry
 }
 
+// PhaseAttacher is implemented by backends that can forward their placer's
+// placement wall-clock samples to a self-profiler hook.
+type PhaseAttacher interface {
+	AttachPhase(fn sim.PhaseFunc)
+}
+
 // Launcher is a task runtime backend bound to a resource partition.
 // Submit may be called before the backend finished bootstrapping; requests
 // queue and run once it is ready.
@@ -352,6 +359,11 @@ type Placer struct {
 	// stats are native counters (no registry indirection on the hot
 	// path); backends surface them through Telemetry().
 	stats PlacerStats
+
+	// Phase, when set, receives sim.PhasePlacement wall-clock samples for
+	// each placement attempt (Place and the shared PopNext scheduling
+	// step). Nil costs one branch per call.
+	Phase sim.PhaseFunc
 }
 
 // NewPlacer returns a placer over the partition.
@@ -395,10 +407,20 @@ func (p *Placer) recordWatermark(maxCPU, maxGPU int) {
 // Place finds and claims slots for the task. It returns nil when the
 // partition currently lacks capacity (the caller re-tries when slots free).
 func (p *Placer) Place(at sim.Time, td *spec.TaskDescription) *platform.Placement {
-	if td.MultiNode() {
-		return p.placeMultiNode(at, td, nil)
+	var t0 time.Time
+	if p.Phase != nil {
+		t0 = time.Now()
 	}
-	return p.placeSingleNode(at, td, nil)
+	var pl *platform.Placement
+	if td.MultiNode() {
+		pl = p.placeMultiNode(at, td, nil)
+	} else {
+		pl = p.placeSingleNode(at, td, nil)
+	}
+	if p.Phase != nil {
+		p.Phase(sim.PhasePlacement, time.Since(t0).Nanoseconds())
+	}
+	return pl
 }
 
 // PlaceRequest places a launch request: the request's preferred nodes
@@ -494,7 +516,14 @@ func (p *Placer) NextRequest(at sim.Time, queue *Queue, backfill int) (int, *pla
 // queue, returning it with its claimed placement ((nil, nil) when nothing
 // can place). It is the one-call scheduling step all backends share.
 func (p *Placer) PopNext(at sim.Time, queue *Queue, backfill int) (*Request, *platform.Placement) {
+	var t0 time.Time
+	if p.Phase != nil {
+		t0 = time.Now()
+	}
 	idx, pl := p.NextRequest(at, queue, backfill)
+	if p.Phase != nil {
+		p.Phase(sim.PhasePlacement, time.Since(t0).Nanoseconds())
+	}
 	if pl == nil {
 		return nil, nil
 	}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"rpgo/internal/profiler"
 	"rpgo/internal/sim"
@@ -212,17 +213,25 @@ func (r *RequestRecord) Trace() profiler.RequestTrace {
 	}
 }
 
-// Record is one JSONL line: exactly one member is non-nil.
+// Record is one JSONL line: exactly one member is non-nil. Shard records
+// (per-shard window telemetry) were added after the task/transfer/request
+// trio; readers built before them skip the unknown member harmlessly.
 type Record struct {
 	Task     *TaskRecord     `json:"task,omitempty"`
 	Transfer *TransferRecord `json:"transfer,omitempty"`
 	Request  *RequestRecord  `json:"request,omitempty"`
+	Shard    *ShardRecord    `json:"shard,omitempty"`
 }
 
 // JSONL is a streaming TraceSink spilling each record as one JSON line.
 // It buffers writes; call Flush (the session does on Profiler.Flush) to
-// drain. Write errors latch and surface from Flush.
+// drain. Write errors latch and surface from Flush. Writes are serialized
+// by an internal mutex so one spill may back several domains of a sharded
+// session (record order across domains is then scheduling-dependent, but
+// every line stays intact; single-threaded spills are byte-stable as
+// before).
 type JSONL struct {
+	mu  sync.Mutex
 	w   *bufio.Writer
 	enc *json.Encoder
 	n   int
@@ -239,11 +248,18 @@ func NewJSONL(w io.Writer) *JSONL {
 func (*JSONL) RetainTraces() bool { return false }
 
 func (s *JSONL) write(rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
 	s.n++
 	s.err = s.enc.Encode(rec)
+}
+
+// WriteShard spills one per-shard telemetry record.
+func (s *JSONL) WriteShard(rec ShardRecord) {
+	s.write(Record{Shard: &rec})
 }
 
 // OnTask implements TraceSink.
@@ -265,10 +281,16 @@ func (s *JSONL) OnRequest(t profiler.RequestTrace) {
 }
 
 // Records returns how many records were written.
-func (s *JSONL) Records() int { return s.n }
+func (s *JSONL) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
 
 // Flush drains the buffer and returns the first write/encode error.
 func (s *JSONL) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.w.Flush(); err != nil && s.err == nil {
 		s.err = err
 	}

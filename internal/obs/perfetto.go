@@ -43,6 +43,7 @@ const (
 	PidTasks    = 1
 	PidData     = 2
 	PidServices = 3
+	PidShards   = 4
 )
 
 // PerfettoWriter streams trace events as a single JSON object. Close
@@ -50,7 +51,7 @@ const (
 type PerfettoWriter struct {
 	w       *bufio.Writer
 	n       int
-	nextTid [4]int // per-pid track allocator
+	nextTid [5]int // per-pid track allocator
 	err     error
 
 	// sources maps exported record UIDs (transfers, requests, tasks) to
@@ -74,7 +75,7 @@ type flowSrc struct {
 func NewPerfettoWriter(w io.Writer) *PerfettoWriter {
 	pw := &PerfettoWriter{w: bufio.NewWriterSize(w, 1<<16), sources: make(map[string]flowSrc)}
 	_, pw.err = pw.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
-	for pid, name := range []string{PidTasks: "tasks", PidData: "data", PidServices: "services"} {
+	for pid, name := range []string{PidTasks: "tasks", PidData: "data", PidServices: "services", PidShards: "shards"} {
 		if name == "" {
 			continue
 		}
@@ -226,6 +227,25 @@ func (pw *PerfettoWriter) Request(r *RequestRecord) {
 	}
 }
 
+// Shard exports one shard's window telemetry as a counter track ("C"
+// events) in the shards process. The values are cumulative end-of-run
+// totals, so each quantity renders as one counter sample.
+func (pw *PerfettoWriter) Shard(s *ShardRecord) {
+	name := fmt.Sprintf("shard%d", s.Shard)
+	pw.event(TraceEvent{
+		Name: name, Cat: "shards", Ph: "C", Ts: 0, Pid: PidShards, Tid: s.Shard,
+		Args: map[string]any{
+			"events":       s.Events,
+			"busy_windows": s.Busy,
+			"skipped":      s.Skipped,
+			"busy_ms":      float64(s.BusyNs) / 1e6,
+			"stall_ms":     float64(s.StallNs) / 1e6,
+			"sent":         s.Sent,
+			"recv":         s.Recv,
+		},
+	})
+}
+
 // Record exports whichever record member is set.
 func (pw *PerfettoWriter) Record(rec *Record) {
 	switch {
@@ -235,6 +255,8 @@ func (pw *PerfettoWriter) Record(rec *Record) {
 		pw.Transfer(rec.Transfer)
 	case rec.Request != nil:
 		pw.Request(rec.Request)
+	case rec.Shard != nil:
+		pw.Shard(rec.Shard)
 	}
 }
 
@@ -250,10 +272,11 @@ func (pw *PerfettoWriter) Close() error {
 }
 
 // validPhases are the trace-event phases this exporter may emit. "s"/"t"/
-// "f" are flow start/step/finish along causal edges.
+// "f" are flow start/step/finish along causal edges; "C" is a counter
+// sample (per-shard telemetry tracks).
 var validPhases = map[string]bool{
 	"X": true, "M": true, "B": true, "E": true, "i": true,
-	"s": true, "t": true, "f": true,
+	"s": true, "t": true, "f": true, "C": true,
 }
 
 // flowPhases require a flow id binding start to finish.

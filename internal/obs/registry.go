@@ -45,13 +45,18 @@ func (c *Counter) Value() uint64 { return c.v }
 // Gauge is a sampled instantaneous value with a lifetime maximum and a
 // tick-coalesced time series: within one tick only the latest sample is
 // kept, so series length is bounded by simulated time, not update rate.
+// The newest sample rides as a pending point that commits when its tick
+// bucket closes; Series flushes it, so the final sample of a run is always
+// part of the exported timeline.
 type Gauge struct {
-	name   string
-	tick   sim.Duration
-	v      float64
-	max    float64
-	last   int64 // tick bucket of the newest series point
-	points []metrics.Point
+	name    string
+	tick    sim.Duration
+	v       float64
+	max     float64
+	last    int64 // tick bucket of the pending point
+	pend    metrics.Point
+	hasPend bool
+	points  []metrics.Point // committed (closed-bucket) points
 }
 
 // Set records the gauge value at a sim time.
@@ -64,12 +69,12 @@ func (g *Gauge) Set(at sim.Time, v float64) {
 		return // dummy instrument: no series
 	}
 	b := int64(at) / int64(g.tick)
-	if n := len(g.points); n > 0 && b == g.last {
-		g.points[n-1] = metrics.Point{T: at, V: v}
-		return
+	if g.hasPend && b != g.last {
+		g.points = append(g.points, g.pend)
 	}
 	g.last = b
-	g.points = append(g.points, metrics.Point{T: at, V: v})
+	g.pend = metrics.Point{T: at, V: v}
+	g.hasPend = true
 }
 
 // Add shifts the gauge by dv at a sim time.
@@ -81,9 +86,15 @@ func (g *Gauge) Value() float64 { return g.v }
 // Max returns the largest value ever set.
 func (g *Gauge) Max() float64 { return g.max }
 
-// Series returns the tick-coalesced timeline.
+// Series returns the tick-coalesced timeline, pending point included. The
+// returned points never alias the gauge's committed storage when a pending
+// point exists, so callers may hold the slice across further Sets.
 func (g *Gauge) Series() metrics.Series {
-	return metrics.Series{Name: g.name, Points: g.points}
+	pts := g.points
+	if g.hasPend {
+		pts = append(pts[:len(pts):len(pts)], g.pend)
+	}
+	return metrics.Series{Name: g.name, Points: pts}
 }
 
 // Histogram is a named log-bucketed distribution (see Hist).
@@ -230,7 +241,18 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = GaugeStat{Last: g.v, Max: g.max}
-		ds := metrics.Downsample(g.Series(), maxSnapshotSeriesPoints)
+		ser := g.Series()
+		ds := ser
+		if len(ser.Points) > maxSnapshotSeriesPoints {
+			// Downsample keeps each stride's maximum, which can discard the
+			// run's final sample. Leave one slot and re-attach the final raw
+			// point so the exported series always ends on the last value.
+			ds = metrics.Downsample(ser, maxSnapshotSeriesPoints-1)
+			fin := ser.Points[len(ser.Points)-1]
+			if m := len(ds.Points); m == 0 || ds.Points[m-1].T != fin.T {
+				ds.Points = append(ds.Points, fin)
+			}
+		}
 		pts := make([]SeriesPoint, len(ds.Points))
 		for i, p := range ds.Points {
 			pts[i] = SeriesPoint{T: p.T.Seconds(), V: p.V}

@@ -10,6 +10,7 @@ package profiler
 
 import (
 	"sort"
+	"time"
 
 	"rpgo/internal/sim"
 )
@@ -314,6 +315,11 @@ type Profiler struct {
 	nTasks  int
 	nFinals int
 
+	// Phase, when set, receives one sim.PhaseSinkFold wall-clock sample per
+	// sink callback — the self-profiler's view of how much real time the
+	// streaming sinks (folds, spills, blame) cost the run.
+	Phase sim.PhaseFunc
+
 	// RecordEvents enables the full event log; compact traces are always
 	// collected.
 	RecordEvents bool
@@ -400,7 +406,14 @@ func (p *Profiler) Task(uid string) *TaskTrace {
 func (p *Profiler) TaskFinal(t *TaskTrace) {
 	p.nFinals++
 	if p.sink != nil {
+		var t0 time.Time
+		if p.Phase != nil {
+			t0 = time.Now()
+		}
 		p.sink.OnTask(t)
+		if p.Phase != nil {
+			p.Phase(sim.PhaseSinkFold, time.Since(t0).Nanoseconds())
+		}
 	}
 	if !p.retain {
 		delete(p.traces, t.UID)
@@ -430,7 +443,14 @@ func (p *Profiler) NumFinals() int { return p.nFinals }
 // Request appends one completed inference-request trace.
 func (p *Profiler) Request(rt RequestTrace) {
 	if p.sink != nil {
+		var t0 time.Time
+		if p.Phase != nil {
+			t0 = time.Now()
+		}
 		p.sink.OnRequest(rt)
+		if p.Phase != nil {
+			p.Phase(sim.PhaseSinkFold, time.Since(t0).Nanoseconds())
+		}
 	}
 	if !p.retain {
 		return
@@ -455,7 +475,14 @@ func (p *Profiler) RequestsFor(service string) []RequestTrace {
 // Transfer appends one completed data-transfer trace.
 func (p *Profiler) Transfer(tt TransferTrace) {
 	if p.sink != nil {
+		var t0 time.Time
+		if p.Phase != nil {
+			t0 = time.Now()
+		}
 		p.sink.OnTransfer(tt)
+		if p.Phase != nil {
+			p.Phase(sim.PhaseSinkFold, time.Since(t0).Nanoseconds())
+		}
 	}
 	if !p.retain {
 		return

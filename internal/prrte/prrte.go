@@ -177,6 +177,9 @@ func (d *DVM) Telemetry() launch.Telemetry {
 	return launch.Telemetry{Placer: d.plc.Stats(), QueueHighWater: d.queue.HighWater()}
 }
 
+// AttachPhase implements launch.PhaseAttacher.
+func (d *DVM) AttachPhase(fn sim.PhaseFunc) { d.plc.Phase = fn }
+
 // Rate returns the effective prun launch rate.
 func (d *DVM) Rate() float64 { return d.params.Rate * d.rateMult }
 

@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is a point in virtual time, in microseconds since simulation start.
@@ -148,6 +149,18 @@ type Engine struct {
 	// Without it the arena high-water never shrinks: one bursty run pins
 	// its peak event population for the life of the engine.
 	PoolWatermark int
+	// Phase, when set, receives one PhaseDispatch wall-clock sample per Run
+	// call. It fires only from Run — never from the sharded window loop,
+	// whose coordinator does its own per-window reporting — so a domain
+	// engine inside a ShardedSession never double-reports.
+	Phase PhaseFunc
+	// Heartbeat, when set, fires every HeartbeatEvery events from inside the
+	// dispatch loop, on the simulation thread. Monitors hook it to publish
+	// registry snapshots at a wall-clock-ish cadence during long runs. The
+	// only hot-path cost when unset is one nil check per event.
+	Heartbeat      func()
+	HeartbeatEvery uint64
+	hbLeft         uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -333,10 +346,27 @@ func (e *Engine) step() bool {
 		} else {
 			fn()
 		}
+		if e.Heartbeat != nil {
+			if e.hbLeft <= 1 {
+				e.hbLeft = e.HeartbeatEvery
+				if e.hbLeft == 0 {
+					e.hbLeft = DefaultHeartbeatEvery
+				}
+				e.Heartbeat()
+			} else {
+				e.hbLeft--
+			}
+		}
 		return true
 	}
 	return false
 }
+
+// DefaultHeartbeatEvery is the event cadence used when Heartbeat is set but
+// HeartbeatEvery is zero. Events take ~100 ns apiece, so this is a beat
+// every few hundred microseconds — frequent enough for a wall-clock-capped
+// monitor, cheap enough to never show up in profiles.
+const DefaultHeartbeatEvery = 4096
 
 // Run processes events until the queue is empty.
 func (e *Engine) Run() {
@@ -345,7 +375,14 @@ func (e *Engine) Run() {
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	var t0 time.Time
+	if e.Phase != nil {
+		t0 = time.Now()
+	}
 	for e.step() {
+	}
+	if e.Phase != nil {
+		e.Phase(PhaseDispatch, time.Since(t0).Nanoseconds())
 	}
 	if e.PoolWatermark > 0 {
 		e.TrimPool(e.PoolWatermark)

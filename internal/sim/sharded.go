@@ -35,6 +35,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // xmsg is one staged cross-partition message.
@@ -57,6 +58,18 @@ type ShardedConfig struct {
 	Lookahead Duration
 }
 
+// ShardStat is per-shard window telemetry, maintained by Run. All fields
+// are cumulative over the engine's lifetime.
+type ShardStat struct {
+	Events  uint64 // events dispatched by this shard's engine
+	Busy    uint64 // windows in which the shard had work and was dispatched
+	Skipped uint64 // windows skipped because the shard was quiescent
+	BusyNs  int64  // wall-clock nanoseconds spent running windows
+	StallNs int64  // wall-clock nanoseconds idle at barriers after finishing
+	Sent    uint64 // cross-partition messages sent from this shard
+	Recv    uint64 // cross-partition messages received by this shard
+}
+
 // ShardedEngine coordinates P partition engines under conservative
 // time-window synchronization on S shards.
 type ShardedEngine struct {
@@ -68,6 +81,28 @@ type ShardedEngine struct {
 
 	windows uint64
 	crossed uint64
+
+	// Window telemetry. stats[i].BusyNs and doneNs[i] are written by worker
+	// i inside its window and read by the coordinator after wg.Wait() — the
+	// WaitGroup and the window channel provide the happens-before edges, so
+	// no atomics are needed. Everything else is coordinator-only.
+	stats    []ShardStat
+	doneNs   []int64 // wall ns since epoch when shard i finished its window
+	epoch    time.Time
+	xByDst   []uint64 // cross messages per destination partition
+	advanced Duration // total sim time the window start advanced across barriers
+	prevT    Time
+	exchNs   int64
+
+	// Phase, when set, receives wall-clock samples from the coordinator:
+	// one PhaseExchange per barrier, one PhaseDispatch per window (the
+	// window's critical path), and one PhaseBarrier per dispatched shard
+	// (its idle wait). Must be safe for concurrent use.
+	Phase PhaseFunc
+	// Heartbeat, when set, fires once per window on the coordinator
+	// goroutine, after the barrier — every worker is parked, so a monitor
+	// may safely read per-domain registries from inside the callback.
+	Heartbeat func()
 }
 
 // NewShardedEngine builds the engine set and the partition→shard map
@@ -96,6 +131,10 @@ func NewShardedEngine(cfg ShardedConfig) *ShardedEngine {
 	for p := range se.partShard {
 		se.partShard[p] = int32(p % s)
 	}
+	se.stats = make([]ShardStat, s)
+	se.doneNs = make([]int64, s)
+	se.xByDst = make([]uint64, cfg.Partitions)
+	se.prevT = -1
 	return se
 }
 
@@ -113,6 +152,56 @@ func (se *ShardedEngine) Windows() uint64 { return se.windows }
 
 // CrossEvents returns how many cross-partition messages were exchanged.
 func (se *ShardedEngine) CrossEvents() uint64 { return se.crossed }
+
+// ShardStats returns a copy of the per-shard window telemetry, with Events
+// filled in from each shard engine's step counter. Call it between runs or
+// after Run returns; it must not race a live window.
+func (se *ShardedEngine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(se.stats))
+	copy(out, se.stats)
+	for i, e := range se.engines {
+		out[i].Events = e.Steps()
+	}
+	return out
+}
+
+// CrossByDst returns a copy of the cross-partition message counts keyed by
+// destination partition.
+func (se *ShardedEngine) CrossByDst() []uint64 {
+	out := make([]uint64, len(se.xByDst))
+	copy(out, se.xByDst)
+	return out
+}
+
+// SimAdvanced returns the total virtual time the window start moved forward
+// across barriers (the sum of T_k − T_{k−1}).
+func (se *ShardedEngine) SimAdvanced() Duration { return se.advanced }
+
+// ExchangeNs returns the cumulative wall-clock time spent exchanging
+// outboxes at barriers.
+func (se *ShardedEngine) ExchangeNs() int64 { return se.exchNs }
+
+// BarrierStallNs returns the total wall-clock time shards spent idle at
+// barriers, summed over all shards.
+func (se *ShardedEngine) BarrierStallNs() int64 {
+	var n int64
+	for i := range se.stats {
+		n += se.stats[i].StallNs
+	}
+	return n
+}
+
+// LookaheadEfficiency reports the measured sim-time advanced per barrier in
+// units of the lookahead. By construction each barrier advances the window
+// start by at least one lookahead, so the value is ≥1; higher means fewer
+// barriers per unit of simulated time (events cluster, quiescent gaps are
+// skipped in one hop). Runs with at most one window report 1.
+func (se *ShardedEngine) LookaheadEfficiency() float64 {
+	if se.windows <= 1 || se.lookahead <= 0 {
+		return 1
+	}
+	return float64(se.advanced) / (float64(se.windows-1) * float64(se.lookahead))
+}
 
 // Engine returns the event engine hosting the given partition. Partitions
 // mapped to the same shard share one engine; all scheduling for a
@@ -208,6 +297,9 @@ func (se *ShardedEngine) exchange() {
 				}
 				dstEng.AtCall(m.at, m.fn, m.arg)
 				se.crossed++
+				se.stats[se.partShard[src]].Sent++
+				se.stats[se.partShard[dst]].Recv++
+				se.xByDst[dst]++
 			}
 		}
 	}
@@ -232,18 +324,24 @@ func (se *ShardedEngine) Run() {
 	defer func() { se.running = false }()
 
 	nShards := len(se.engines)
+	se.epoch = time.Now()
 	var wg sync.WaitGroup
 	var windowCh []chan Time
 	if nShards > 1 {
 		windowCh = make([]chan Time, nShards)
 		for i := range windowCh {
 			windowCh[i] = make(chan Time, 1)
-			go func(e *Engine, ch chan Time) {
+			go func(shard int, e *Engine, ch chan Time) {
 				for limit := range ch {
+					t0 := time.Now()
 					e.runBefore(limit)
+					// Written while the coordinator blocks in wg.Wait();
+					// wg.Done / the next channel receive order the accesses.
+					se.stats[shard].BusyNs += time.Since(t0).Nanoseconds()
+					se.doneNs[shard] = time.Since(se.epoch).Nanoseconds()
 					wg.Done()
 				}
-			}(se.engines[i], windowCh[i])
+			}(i, se.engines[i], windowCh[i])
 		}
 		defer func() {
 			for _, ch := range windowCh {
@@ -254,7 +352,13 @@ func (se *ShardedEngine) Run() {
 
 	next := make([]Time, nShards)
 	for {
+		ex0 := time.Now()
 		se.exchange()
+		exd := time.Since(ex0).Nanoseconds()
+		se.exchNs += exd
+		if se.Phase != nil {
+			se.Phase(PhaseExchange, exd)
+		}
 		T := Time(-1)
 		for i, e := range se.engines {
 			nt, ok := e.peekTime()
@@ -270,10 +374,24 @@ func (se *ShardedEngine) Run() {
 		if T < 0 {
 			break
 		}
+		if se.prevT >= 0 {
+			se.advanced += T.Sub(se.prevT)
+		}
+		se.prevT = T
 		limit := T.Add(se.lookahead)
 		se.windows++
 		if nShards == 1 {
+			t0 := time.Now()
 			se.engines[0].runBefore(limit)
+			d := time.Since(t0).Nanoseconds()
+			se.stats[0].Busy++
+			se.stats[0].BusyNs += d
+			if se.Phase != nil {
+				se.Phase(PhaseDispatch, d)
+			}
+			if se.Heartbeat != nil {
+				se.Heartbeat()
+			}
 			continue
 		}
 		busy := 0
@@ -283,14 +401,35 @@ func (se *ShardedEngine) Run() {
 			}
 		}
 		wg.Add(busy)
+		wStart := time.Since(se.epoch).Nanoseconds()
 		for i := range se.engines {
 			// Shards whose next event is at or beyond the barrier are not
 			// dispatched at all: an idle partition costs one comparison.
 			if next[i] >= 0 && next[i] < limit {
+				se.stats[i].Busy++
 				windowCh[i] <- limit
+			} else {
+				se.stats[i].Skipped++
 			}
 		}
 		wg.Wait()
+		barrier := time.Since(se.epoch).Nanoseconds()
+		for i := range se.engines {
+			if next[i] >= 0 && next[i] < limit {
+				if stall := barrier - se.doneNs[i]; stall > 0 {
+					se.stats[i].StallNs += stall
+					if se.Phase != nil {
+						se.Phase(PhaseBarrier, stall)
+					}
+				}
+			}
+		}
+		if se.Phase != nil {
+			se.Phase(PhaseDispatch, barrier-wStart)
+		}
+		if se.Heartbeat != nil {
+			se.Heartbeat()
+		}
 	}
 	for _, e := range se.engines {
 		if e.PoolWatermark > 0 {

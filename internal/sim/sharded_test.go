@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -164,6 +165,184 @@ func TestShardedQuiescentPartition(t *testing.T) {
 	}
 	if se.CrossEvents() != 0 {
 		t.Fatalf("unexpected cross events: %d", se.CrossEvents())
+	}
+}
+
+// TestShardedStatsInvariants: the per-shard window telemetry must account
+// for every event, every window, and every cross-partition message.
+func TestShardedStatsInvariants(t *testing.T) {
+	la := 10 * Millisecond
+	se := NewShardedEngine(ShardedConfig{Partitions: 4, Shards: 4, Lookahead: la})
+	var hops []func(any)
+	hop := func(part int) func(any) {
+		return func(arg any) {
+			n := arg.(int)
+			if n >= 50 {
+				return
+			}
+			se.Engine(part).After(Millisecond, func() {})
+			se.Send(part, (part+1)%4, la, hops[(part+1)%4], n+1)
+		}
+	}
+	for p := 0; p < 4; p++ {
+		hops = append(hops, hop(p))
+	}
+	se.Engine(0).AtCall(0, hops[0], 0)
+	se.Run()
+
+	stats := se.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("got %d shard stats, want 4", len(stats))
+	}
+	var events, sent, recv uint64
+	for i, st := range stats {
+		events += st.Events
+		sent += st.Sent
+		recv += st.Recv
+		if st.Busy+st.Skipped != se.Windows() {
+			t.Errorf("shard %d: busy %d + skipped %d != windows %d",
+				i, st.Busy, st.Skipped, se.Windows())
+		}
+	}
+	if events != se.Steps() {
+		t.Errorf("per-shard events sum to %d, engine stepped %d", events, se.Steps())
+	}
+	if sent != se.CrossEvents() || recv != se.CrossEvents() {
+		t.Errorf("sent/recv %d/%d, want both == cross events %d", sent, recv, se.CrossEvents())
+	}
+	var byDst uint64
+	for _, n := range se.CrossByDst() {
+		byDst += n
+	}
+	if byDst != se.CrossEvents() {
+		t.Errorf("CrossByDst sums to %d, want %d", byDst, se.CrossEvents())
+	}
+	var stall int64
+	for _, st := range stats {
+		stall += st.StallNs
+	}
+	if stall != se.BarrierStallNs() {
+		t.Errorf("BarrierStallNs %d != per-shard sum %d", se.BarrierStallNs(), stall)
+	}
+	if eff := se.LookaheadEfficiency(); eff < 1 {
+		t.Errorf("lookahead efficiency %g < 1 — each barrier advances at least one lookahead", eff)
+	}
+	if se.SimAdvanced() <= 0 {
+		t.Error("SimAdvanced is zero on a multi-window run")
+	}
+}
+
+// TestShardedStatsInlinePath: the shards=1 fast path runs no goroutines but
+// must maintain the same telemetry.
+func TestShardedStatsInlinePath(t *testing.T) {
+	se := NewShardedEngine(ShardedConfig{Partitions: 2, Shards: 1, Lookahead: Millisecond})
+	ran := 0
+	var tick func(any)
+	tick = func(any) {
+		ran++
+		if ran < 50 {
+			se.Engine(0).AfterCall(5*Millisecond, tick, nil)
+		}
+	}
+	se.Engine(0).AfterCall(0, tick, nil)
+	se.Run()
+	st := se.ShardStats()
+	if len(st) != 1 {
+		t.Fatalf("got %d shard stats, want 1", len(st))
+	}
+	if st[0].Busy != se.Windows() {
+		t.Errorf("inline path busy windows %d != windows %d", st[0].Busy, se.Windows())
+	}
+	if st[0].Skipped != 0 {
+		t.Errorf("inline path skipped %d windows, want 0", st[0].Skipped)
+	}
+	if st[0].Events != se.Steps() {
+		t.Errorf("inline path events %d != steps %d", st[0].Events, se.Steps())
+	}
+	if st[0].BusyNs <= 0 {
+		t.Error("inline path measured no busy wall time")
+	}
+	if st[0].StallNs != 0 {
+		t.Errorf("inline path has barrier stall %d ns with no barrier", st[0].StallNs)
+	}
+}
+
+// TestShardedPhaseSamples: the coordinator must report one dispatch sample
+// per window and at least one exchange sample per barrier through the
+// Phase hook, concurrently-safely.
+func TestShardedPhaseSamples(t *testing.T) {
+	se := NewShardedEngine(ShardedConfig{Partitions: 3, Shards: 3, Lookahead: Millisecond})
+	var mu sync.Mutex
+	counts := make([]uint64, NumPhases)
+	se.Phase = func(phase int, ns int64) {
+		if ns < 0 {
+			t.Errorf("negative phase sample: phase=%d ns=%d", phase, ns)
+		}
+		mu.Lock()
+		counts[phase]++
+		mu.Unlock()
+	}
+	var hops []func(any)
+	hop := func(part int) func(any) {
+		return func(arg any) {
+			n := arg.(int)
+			if n >= 30 {
+				return
+			}
+			se.Send(part, (part+1)%3, Millisecond, hops[(part+1)%3], n+1)
+		}
+	}
+	for p := 0; p < 3; p++ {
+		hops = append(hops, hop(p))
+	}
+	se.Engine(0).AtCall(0, hops[0], 0)
+	se.Run()
+	if counts[PhaseDispatch] != se.Windows() {
+		t.Errorf("dispatch samples %d, want one per window (%d)", counts[PhaseDispatch], se.Windows())
+	}
+	if counts[PhaseExchange] < se.Windows() {
+		t.Errorf("exchange samples %d, want at least one per barrier (%d)", counts[PhaseExchange], se.Windows())
+	}
+}
+
+// TestShardedHeartbeatPerWindow: the sharded heartbeat fires exactly once
+// per window, on the coordinator, after the barrier.
+func TestShardedHeartbeatPerWindow(t *testing.T) {
+	se := NewShardedEngine(ShardedConfig{Partitions: 2, Shards: 2, Lookahead: Millisecond})
+	beats := uint64(0)
+	se.Heartbeat = func() { beats++ }
+	n := 0
+	var tick func(any)
+	tick = func(any) {
+		n++
+		if n < 40 {
+			se.Engine(1).AfterCall(3*Millisecond, tick, nil)
+		}
+	}
+	se.Engine(1).AfterCall(0, tick, nil)
+	se.Run()
+	if beats != se.Windows() {
+		t.Errorf("heartbeats %d, want one per window (%d)", beats, se.Windows())
+	}
+}
+
+// TestEngineHeartbeatCadence: the plain engine beats every HeartbeatEvery
+// events, starting with the first.
+func TestEngineHeartbeatCadence(t *testing.T) {
+	eng := NewEngine()
+	beats := 0
+	eng.Heartbeat = func() { beats++ }
+	eng.HeartbeatEvery = 4
+	for i := 0; i < 10; i++ {
+		eng.After(Duration(i)*Millisecond, func() {})
+	}
+	eng.Run()
+	// Beats land on events 1, 5, 9.
+	if beats != 3 {
+		t.Errorf("10 events at cadence 4 produced %d beats, want 3", beats)
+	}
+	if eng.Steps() != 10 {
+		t.Errorf("heartbeat perturbed the event count: %d", eng.Steps())
 	}
 }
 

@@ -172,6 +172,9 @@ func (s *SrunLauncher) Telemetry() launch.Telemetry {
 	return launch.Telemetry{Placer: s.plc.Stats(), QueueHighWater: s.queue.HighWater()}
 }
 
+// AttachPhase implements launch.PhaseAttacher.
+func (s *SrunLauncher) AttachPhase(fn sim.PhaseFunc) { s.plc.Phase = fn }
+
 // Submit implements launch.Launcher.
 func (s *SrunLauncher) Submit(r *launch.Request) {
 	s.stats.Submitted++

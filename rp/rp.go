@@ -238,6 +238,54 @@ type MetricsRegistry = obs.Registry
 // Session.MetricsSnapshot().
 type MetricsSnapshot = obs.Snapshot
 
+// --- live introspection (internal/obs) ---
+
+// Monitor is the live-monitoring front door: attach it to a running
+// campaign (experiments configs take one, or set Session.Engine.Heartbeat
+// via Monitor.Attach) and it publishes registry snapshots at a wall-clock
+// cadence and serves them over HTTP — /metrics in Prometheus text
+// exposition, /healthz, and /progress with campaign completion.
+type Monitor = obs.Monitor
+
+// NewMonitor returns a monitor publishing at most once per cadence.
+var NewMonitor = obs.NewMonitor
+
+// SelfProfiler accounts the simulator's own wall-clock time by phase
+// (event dispatch, barrier exchange and stall, sink folds, placement).
+// Set one on Config.Profile; totals merge into MetricsSnapshot as
+// selfprof.* counters.
+type SelfProfiler = obs.SelfProfiler
+
+// NewSelfProfiler returns an empty self-profiler.
+func NewSelfProfiler() *SelfProfiler { return obs.NewSelfProfiler() }
+
+// Self-profiler phases (SelfProfiler.TotalNs/Samples/MaxNs selectors).
+const (
+	PhaseDispatch  = sim.PhaseDispatch
+	PhaseExchange  = sim.PhaseExchange
+	PhaseBarrier   = sim.PhaseBarrier
+	PhaseSinkFold  = sim.PhaseSinkFold
+	PhasePlacement = sim.PhasePlacement
+)
+
+// PhaseName returns the short stable name of a self-profiler phase.
+func PhaseName(phase int) string { return sim.PhaseName(phase) }
+
+// WriteOpenMetrics renders a metrics snapshot in Prometheus/OpenMetrics
+// text exposition (byte-deterministic; what the monitor's /metrics serves).
+func WriteOpenMetrics(w io.Writer, s *MetricsSnapshot) error {
+	return obs.WriteOpenMetrics(w, s)
+}
+
+// ShardRecord is one shard's cumulative window telemetry from a sharded
+// run (events, busy/skipped windows, busy and barrier-stall wall time,
+// cross-partition traffic).
+type ShardRecord = obs.ShardRecord
+
+// RenderShardTable formats shard records as the per-shard occupancy table
+// `rptrace shards` prints.
+func RenderShardTable(recs []ShardRecord) string { return obs.RenderShardTable(recs) }
+
 // --- causal tracing & blame (internal/analytics, internal/obs) ---
 
 // CausalEdge is one resolved wait on a trace record: what the task,
